@@ -1,0 +1,125 @@
+//! Bitstream capture memory.
+//!
+//! The paper's demonstrator does not integrate the evaluator's digital
+//! back-end; the Agilent 93000 acquires the raw bitstreams `d1k`, `d2k`
+//! and processes them off-chip. [`BitstreamCapture`] is that acquisition
+//! memory: record bits during a run, then replay or post-process them.
+
+/// A recorded ΣΔ bitstream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitstreamCapture {
+    bits: Vec<bool>,
+}
+
+impl BitstreamCapture {
+    /// An empty capture memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one bit.
+    pub fn record(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Number of recorded bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The recorded bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The signature of the recorded stream: `Σ(±1)`.
+    pub fn signature(&self) -> i64 {
+        self.bits.iter().map(|&b| if b { 1i64 } else { -1 }).sum()
+    }
+
+    /// Signature of a sub-window `[start, start+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the capture length.
+    pub fn window_signature(&self, start: usize, len: usize) -> i64 {
+        self.bits[start..start + len]
+            .iter()
+            .map(|&b| if b { 1i64 } else { -1 })
+            .sum()
+    }
+
+    /// The stream as ±1 values (for spectral inspection of the bitstream).
+    pub fn as_levels(&self) -> Vec<f64> {
+        self.bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+    }
+
+    /// Clears the memory.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+}
+
+impl Extend<bool> for BitstreamCapture {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.bits.extend(iter);
+    }
+}
+
+impl FromIterator<bool> for BitstreamCapture {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_signature() {
+        let mut cap = BitstreamCapture::new();
+        cap.record(true);
+        cap.record(false);
+        cap.record(true);
+        assert_eq!(cap.len(), 3);
+        assert_eq!(cap.signature(), 1);
+    }
+
+    #[test]
+    fn window_signature_slices() {
+        let cap: BitstreamCapture = [true, true, false, false, true].into_iter().collect();
+        assert_eq!(cap.window_signature(0, 2), 2);
+        assert_eq!(cap.window_signature(2, 2), -2);
+        assert_eq!(cap.window_signature(0, 5), 1);
+    }
+
+    #[test]
+    fn levels_are_plus_minus_one() {
+        let cap: BitstreamCapture = [true, false].into_iter().collect();
+        assert_eq!(cap.as_levels(), vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cap: BitstreamCapture = [true].into_iter().collect();
+        assert!(!cap.is_empty());
+        cap.clear();
+        assert!(cap.is_empty());
+        assert_eq!(cap.signature(), 0);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut cap = BitstreamCapture::new();
+        cap.extend([true, true, true]);
+        assert_eq!(cap.signature(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion benches for full network-analyzer operations: generator
+//! sample production, calibration and single Bode points — the cost model
+//! for planning sweep test times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dut::ActiveRcFilter;
+use mixsig::clock::MasterClock;
+use mixsig::units::{Hertz, Volts};
+use netan::{AnalyzerConfig, NetworkAnalyzer};
+use sigen::{GeneratorConfig, SinewaveGenerator};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(30);
+    let clk = MasterClock::from_hz(6.0e6);
+    group.bench_function("ideal_one_period_96", |b| {
+        let mut generator = SinewaveGenerator::new(GeneratorConfig::ideal(clk, Volts(0.15)));
+        b.iter(|| generator.waveform_at_feva(96))
+    });
+    group.bench_function("cmos_one_period_96", |b| {
+        let mut generator =
+            SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.15), 1));
+        b.iter(|| generator.waveform_at_feva(96))
+    });
+    group.finish();
+}
+
+fn bench_bode_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_analyzer");
+    group.sample_size(10);
+    let device = ActiveRcFilter::paper_dut().linearized();
+    group.bench_function("calibrate_M200", |b| {
+        b.iter(|| {
+            let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal());
+            analyzer.calibrate().unwrap()
+        })
+    });
+    group.bench_function("bode_point_1khz_M200", |b| {
+        let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal());
+        analyzer.calibrate().unwrap();
+        b.iter(|| analyzer.measure_point(Hertz(1000.0)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_bode_point);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the DSP substrate: FFT, Goertzel, sine fit.
+//!
+//! These kernels dominate the "off-chip DSP" side of the reproduction
+//! (the role the Agilent 93000 plays in the paper's Fig. 7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsp::fft::fft_real;
+use dsp::goertzel::dft_bin;
+use dsp::sinefit::SineFit;
+use dsp::spectrum::Spectrum;
+use dsp::tone::Tone;
+use dsp::window::Window;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_real");
+    group.sample_size(30);
+    for &n in &[1024usize, 8192] {
+        let x = Tone::new(33.0 / n as f64, 1.0, 0.0).samples(n);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| fft_real(black_box(&x)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_goertzel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_bin_dft");
+    group.sample_size(30);
+    let n = 96 * 200;
+    let x = Tone::new(1.0 / 96.0, 0.5, 0.3).samples(n);
+    group.bench_function("dft_bin_19200", |b| {
+        b.iter(|| dft_bin(black_box(&x), 1.0 / 96.0))
+    });
+    group.finish();
+}
+
+fn bench_sinefit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sine_fit");
+    group.sample_size(30);
+    let n = 9600;
+    let x = Tone::new(1.0 / 96.0, 0.5, 0.3).samples(n);
+    group.bench_function("three_param_9600", |b| {
+        b.iter(|| SineFit::fit(black_box(&x), 1.0 / 96.0))
+    });
+    group.finish();
+}
+
+fn bench_periodogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scope_periodogram");
+    group.sample_size(20);
+    let n = 8192;
+    let x = Tone::new(85.0 / n as f64, 0.5, 0.0).samples(n);
+    group.bench_function("blackman_harris_8192", |b| {
+        b.iter(|| Spectrum::periodogram(black_box(&x), Window::BlackmanHarris))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_goertzel,
+    bench_sinefit,
+    bench_periodogram
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the evaluator chain: ΣΔ modulation throughput and
+//! full harmonic measurements at the paper's M settings.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dsp::tone::Tone;
+use sdeval::{EvaluatorConfig, SdmConfig, SigmaDeltaModulator, SinewaveEvaluator};
+
+fn bench_modulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sigma_delta");
+    group.sample_size(30);
+    let x = Tone::new(1.0 / 96.0, 0.5, 0.0).samples(9600);
+    group.bench_function("ideal_9600_samples", |b| {
+        b.iter(|| {
+            let mut m = SigmaDeltaModulator::new(SdmConfig::ideal());
+            let mut acc = 0i64;
+            for &v in &x {
+                acc += if m.step(black_box(v), true) { 1 } else { -1 };
+            }
+            acc
+        })
+    });
+    group.bench_function("cmos_9600_samples", |b| {
+        b.iter(|| {
+            let mut m = SigmaDeltaModulator::new(SdmConfig::cmos_035um(1));
+            let mut acc = 0i64;
+            for &v in &x {
+                acc += if m.step(black_box(v), true) { 1 } else { -1 };
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_harmonic_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measure_harmonic");
+    group.sample_size(10);
+    for &m in &[200u32, 400] {
+        group.bench_function(format!("ideal_M={m}"), |b| {
+            b.iter(|| {
+                let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+                let tone = Tone::new(1.0 / 96.0, 0.2, 0.0);
+                let mut n = 0usize;
+                let mut src = move || {
+                    let v = tone.sample(n);
+                    n += 1;
+                    v
+                };
+                ev.measure_harmonic(&mut src, 1, m).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modulator_throughput, bench_harmonic_measurement);
+criterion_main!(benches);

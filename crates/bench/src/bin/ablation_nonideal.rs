@@ -1,0 +1,149 @@
+//! Ablation **AB2**: which circuit non-ideality costs what.
+//!
+//! Starts from the ideal analyzer and switches on one non-ideality at a
+//! time, reporting (a) the generator's SFDR and (b) the evaluator's
+//! amplitude error on a 0.2 V tone. This quantifies the design choices the
+//! paper makes implicitly: reusing one amplifier design everywhere,
+//! chopping the offset, and tolerating comparator imperfections inside the
+//! ΣΔ loop.
+
+use mixsig::clock::MasterClock;
+use mixsig::mismatch::MatchingSpec;
+use mixsig::opamp::OpAmpModel;
+use mixsig::units::{Hertz, Volts};
+use sdeval::{ComparatorModel, EvaluatorConfig, SdmConfig, SinewaveEvaluator};
+use sigen::{GeneratorConfig, GeneratorSpectrum, SinewaveGenerator};
+
+fn generator_sfdr(opamp: OpAmpModel, matching: MatchingSpec, noise: bool) -> f64 {
+    let clk = MasterClock::from_hz(6.0e6);
+    let cfg = GeneratorConfig {
+        master_clock: clk,
+        va_diff: Volts(0.25),
+        opamp,
+        matching,
+        unit_cap_farads: 1.0e-12,
+        seed: 4,
+        noise,
+    };
+    let mut generator = SinewaveGenerator::new(cfg);
+    GeneratorSpectrum::measure(&mut generator, 64, 10).sfdr_db()
+}
+
+fn evaluator_error(sdm: SdmConfig, chopped: bool) -> f64 {
+    let cfg = EvaluatorConfig {
+        n: 96,
+        sdm,
+        chopped,
+    };
+    let mut ev = SinewaveEvaluator::new(cfg);
+    let mut src = bench::tone_source(1.0 / 96.0, 0.2, 0.4);
+    let meas = ev.measure_harmonic(&mut src, 1, 400).unwrap();
+    (meas.amplitude.est - 0.2).abs()
+}
+
+fn main() {
+    bench::banner("Ablation AB2", "per-non-ideality cost");
+
+    println!("generator SFDR (dB):");
+    let ideal_op = OpAmpModel::ideal();
+    let real_op = OpAmpModel::folded_cascode_035um();
+    let rows: [(&str, OpAmpModel, MatchingSpec, bool); 5] = [
+        ("all ideal", ideal_op, MatchingSpec::ideal(), false),
+        (
+            "+ capacitor mismatch only",
+            ideal_op,
+            MatchingSpec::typical_035um(),
+            false,
+        ),
+        (
+            "+ finite gain/GBW only",
+            OpAmpModel { cubic: 0.0, ..real_op },
+            MatchingSpec::ideal(),
+            false,
+        ),
+        (
+            "+ op-amp compression only",
+            OpAmpModel {
+                dc_gain: f64::INFINITY,
+                gbw: Hertz(f64::INFINITY),
+                slew_rate: f64::INFINITY,
+                output_swing: Volts(f64::INFINITY),
+                offset: Volts(0.0),
+                noise_density: 0.0,
+                cubic: real_op.cubic,
+            },
+            MatchingSpec::ideal(),
+            false,
+        ),
+        (
+            "full 0.35 µm model",
+            real_op,
+            MatchingSpec::typical_035um(),
+            true,
+        ),
+    ];
+    for (label, op, matching, noise) in rows {
+        println!("  {:<28} {:>8.1}", label, generator_sfdr(op, matching, noise));
+    }
+
+    println!("\nevaluator |amplitude error| on a 0.2 V tone (M = 400):");
+    let base = SdmConfig::ideal();
+    let rows: [(&str, SdmConfig, bool); 6] = [
+        ("all ideal, chopped", base.clone(), true),
+        (
+            "+ 10 mV modulator offset, chopped",
+            SdmConfig {
+                opamp: OpAmpModel::ideal().with_offset(Volts(0.010)),
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "+ 10 mV modulator offset, raw",
+            SdmConfig {
+                opamp: OpAmpModel::ideal().with_offset(Volts(0.010)),
+                ..base.clone()
+            },
+            false,
+        ),
+        (
+            "+ 5 mV comparator offset",
+            SdmConfig {
+                comparator: ComparatorModel {
+                    offset: Volts(0.005),
+                    hysteresis: Volts(0.0),
+                    noise_rms: Volts(0.0),
+                },
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "+ 2 mV comparator hysteresis",
+            SdmConfig {
+                comparator: ComparatorModel {
+                    offset: Volts(0.0),
+                    hysteresis: Volts(0.002),
+                    noise_rms: Volts(0.0),
+                },
+                ..base.clone()
+            },
+            true,
+        ),
+        ("full 0.35 µm model", SdmConfig::cmos_035um(4), true),
+    ];
+    for (label, sdm, chopped) in rows {
+        println!("  {:<36} {:>12.3e}", label, evaluator_error(sdm, chopped));
+    }
+
+    println!(
+        "\nfindings: mismatch alone leaves the generator >85 dB (the\n\
+         resonant biquad filters mismatch harmonics); the op-amp's\n\
+         signal-dependent gain compression is what sets the ≈70 dB silicon\n\
+         figure. On the evaluator side, modulator offset is the one\n\
+         first-order hazard — chopping removes it entirely, while\n\
+         comparator offset/hysteresis are noise-shaped by the ΣΔ loop and\n\
+         cost almost nothing (the paper's rationale for a simple dynamic\n\
+         latch)."
+    );
+}

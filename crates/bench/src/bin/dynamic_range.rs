@@ -1,0 +1,51 @@
+//! Regenerates the paper's **headline claim**: a dynamic range of 70 dB in
+//! the frequency range up to 20 kHz.
+//!
+//! At f_wave = 20 kHz (f_eva = 1.92 MHz, N = 96 as always), tones are
+//! measured at decreasing levels below full scale. For each level the
+//! harness reports the estimate error and whether the guaranteed enclosure
+//! still excludes zero (i.e. the tone is *detected*, not just estimated).
+//! The test time needed for each level illustrates the paper's
+//! accuracy-vs-test-time trade.
+
+use dsp::db::amplitude_to_db;
+use sdeval::{EvaluatorConfig, SinewaveEvaluator};
+
+fn main() {
+    bench::banner("Dynamic range", "tone detection at 20 kHz vs level below FS");
+    let f_eva = 96.0 * 20_000.0;
+    println!("f_wave = 20 kHz → f_eva = {f_eva} Hz (N = 96)\n");
+    println!(
+        "{:>12} {:>12} {:>8} {:>14} {:>12} {:>10}",
+        "level (dBFS)", "ampl (mV)", "M", "est err (dB)", "bound ± dB", "detected"
+    );
+    for &db in &[-10.0, -30.0, -50.0, -60.0, -70.0, -80.0] {
+        let a = 10f64.powf(db / 20.0);
+        // Scale M so the ±4-count bound sits well below the tone:
+        // bound_amp ≈ (π/2)·vref·4√2/(MN) ≪ a.
+        let m = ((40.0 * 4.0 * std::f64::consts::FRAC_PI_2 * 1.414) / (96.0 * a)).ceil()
+            as u32;
+        let m = (m + m % 2).max(40); // even, at least 40
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::cmos_035um(9));
+        let mut src = bench::tone_source(1.0 / 96.0, a, 0.35);
+        let meas = ev.measure_harmonic(&mut src, 1, m).unwrap();
+        let err_db = amplitude_to_db(meas.amplitude.est / a).abs();
+        let half_band = 20.0 * (meas.amplitude.hi / meas.amplitude.lo.max(1e-15)).log10() / 2.0;
+        let detected = meas.amplitude.lo > 0.0;
+        println!(
+            "{:>12.0} {:>12.3} {:>8} {:>14.3} {:>12.3} {:>10}",
+            db,
+            a * 1e3,
+            m,
+            err_db,
+            half_band,
+            if detected { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nshape check (paper): tones down to −70 dBFS are measured with\n\
+         sub-dB accuracy at 20 kHz — the 70 dB / 20 kHz headline. The\n\
+         required M grows as the level falls: accuracy is bought with test\n\
+         time (paper Section IV.B)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper **Fig. 10a**: Bode magnitude diagram of the 1 kHz
+//! active-RC low-pass DUT, measured with M = 200 periods, with the
+//! guaranteed error band at every point.
+
+use dut::ActiveRcFilter;
+use mixsig::units::Hertz;
+use netan::{bode_table, AnalyzerConfig, NetworkAnalyzer};
+
+fn main() {
+    bench::banner(
+        "Fig. 10a",
+        "Bode magnitude of the 1 kHz active-RC DUT (M = 200)",
+    );
+    let device = ActiveRcFilter::paper_dut().linearized();
+    let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::cmos_035um(3));
+    let freqs = netan::log_spaced(Hertz(100.0), Hertz(20_000.0), 21);
+    let plot = analyzer.sweep(&freqs).expect("sweep failed");
+
+    println!("{}", bode_table(&plot));
+    if let Some(fc) = plot.cutoff_frequency() {
+        println!("measured -3 dB cut-off: {:.1} Hz (DUT nominal: 1000 Hz)", fc.value());
+    }
+    println!(
+        "worst gain deviation from analytic response: {:.3} dB",
+        plot.worst_gain_error_db()
+    );
+    println!(
+        "enclosure coverage of analytic response: {:.0} %",
+        100.0 * plot.gain_coverage()
+    );
+    println!(
+        "\nshape checks (paper): flat passband ≈0 dB, −3 dB at 1 kHz,\n\
+         −40 dB/dec roll-off, and the error band visibly opens as the\n\
+         magnitude falls (relative error grows when the response shrinks)."
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates paper **Fig. 10b**: Bode phase diagram of the 1 kHz
+//! active-RC DUT, M = 200, with error bands, phase unwrapped by continuity
+//! (the paper plots 0 to −200°).
+
+use dut::ActiveRcFilter;
+use mixsig::units::Hertz;
+use netan::{AnalyzerConfig, NetworkAnalyzer};
+
+fn main() {
+    bench::banner("Fig. 10b", "Bode phase of the 1 kHz active-RC DUT (M = 200)");
+    let device = ActiveRcFilter::paper_dut().linearized();
+    let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::cmos_035um(3));
+    let freqs = netan::log_spaced(Hertz(100.0), Hertz(20_000.0), 21);
+    let plot = analyzer.sweep(&freqs).expect("sweep failed");
+
+    println!(
+        "{:>12} {:>12} {:>24} {:>12}",
+        "freq (Hz)", "phase (°)", "band (°)", "ideal (°)"
+    );
+    let mut ideal_prev = 0.0f64;
+    for p in plot.points() {
+        // Unwrap the analytic reference the same way for comparison.
+        let mut ideal = p.ideal_phase_deg;
+        while ideal - ideal_prev > 180.0 {
+            ideal -= 360.0;
+        }
+        while ideal - ideal_prev < -180.0 {
+            ideal += 360.0;
+        }
+        ideal_prev = ideal;
+        println!(
+            "{:>12.1} {:>12.2} [{:>9.2}, {:>9.2}] {:>12.2}",
+            p.frequency.value(),
+            p.phase_deg.est,
+            p.phase_deg.lo,
+            p.phase_deg.hi,
+            ideal
+        );
+    }
+    println!(
+        "\nshape checks (paper): ≈0° in the deep passband, −90° at the\n\
+         1 kHz cut-off, approaching −180° past the corner and continuing\n\
+         below (board parasitic pole), with error bands opening in the\n\
+         stopband."
+    );
+}

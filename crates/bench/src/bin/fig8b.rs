@@ -1,0 +1,58 @@
+//! Regenerates paper **Fig. 8b**: the generator output spectrum for a
+//! ≈1 Vpp, 62.5 kHz signal. The paper reads SFDR = 70 dB and THD = 67 dB.
+//!
+//! Reports the harmonic table from the coherent single-bin DFTs (exact)
+//! and the SFDR/THD over several mismatch fabrications.
+
+use mixsig::clock::MasterClock;
+use mixsig::units::Volts;
+use sigen::{GeneratorConfig, GeneratorSpectrum, SinewaveGenerator};
+
+fn main() {
+    bench::banner("Fig. 8b", "generator output spectrum, 1 Vpp @ 62.5 kHz");
+    let clk = MasterClock::from_hz(6.0e6);
+
+    // One representative fabrication in detail.
+    let mut generator =
+        SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), 1));
+    let spec = GeneratorSpectrum::measure(&mut generator, 64, 10);
+    println!(
+        "fundamental: {:.1} mV ({:.3} Vpp)",
+        spec.fundamental * 1e3,
+        2.0 * spec.fundamental
+    );
+    println!("\n{:>4} {:>12}", "Hk", "level (dBc)");
+    for h in 2..=10 {
+        println!("{:>4} {:>12.1}", h, spec.hd_dbc(h));
+    }
+    println!("\nnoise floor (rms, off-harmonic probe bins): {:.1} dB",
+        20.0 * (spec.noise_rms.max(1e-300) / spec.fundamental).log10());
+
+    // SFDR/THD across fabrications (the paper reports one die).
+    println!("\n{:>6} {:>10} {:>10}", "die", "SFDR (dB)", "THD (dB)");
+    let mut sfdrs = Vec::new();
+    let mut thds = Vec::new();
+    for seed in 0..8u64 {
+        let mut generator =
+            SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), seed));
+        let s = GeneratorSpectrum::measure(&mut generator, 64, 10);
+        println!("{:>6} {:>10.1} {:>10.1}", seed, s.sfdr_db(), s.thd_db());
+        sfdrs.push(s.sfdr_db());
+        thds.push(s.thd_db());
+    }
+    println!(
+        "\nmean SFDR {:.1} dB (paper: 70 dB), mean THD {:.1} dB (paper: 67 dB)",
+        bench::mean(&sfdrs),
+        bench::mean(&thds)
+    );
+
+    // Ideal reference: with exact capacitors and ideal op-amps the spectrum
+    // is clean far beyond the paper's floor.
+    let mut ideal = SinewaveGenerator::new(GeneratorConfig::ideal(clk, Volts(0.25)));
+    let ideal_spec = GeneratorSpectrum::measure(&mut ideal, 64, 10);
+    println!(
+        "ideal-hardware reference: SFDR {:.1} dB, THD {:.1} dB",
+        ideal_spec.sfdr_db(),
+        ideal_spec.thd_db()
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerates paper **Fig. 9**: evaluator harmonic measurements of the
+//! three-tone ATE stimulus (A1 = 0.2 V, A2 = 0.02 V, A3 = 0.002 V) as a
+//! function of the number of samples MN, 25 runs each.
+//!
+//! Prints, for each harmonic, the mean measurement in the paper's
+//! "dBm" (dB-full-scale) axis and the 25-run spread — reproducing the
+//! funnel shape of Fig. 9: the error decreases as M grows, harmonics sit
+//! 20 and 40 dB below the fundamental, and the bound widths shrink as
+//! 1/(MN).
+
+use ate::MultitoneAwg;
+use dsp::db::amplitude_to_dbfs;
+use sdeval::{EvaluatorConfig, SinewaveEvaluator};
+
+fn main() {
+    bench::banner(
+        "Fig. 9",
+        "harmonic measurements vs number of samples (N = 96, 25 runs)",
+    );
+    let truths = [0.2, 0.02, 0.002];
+    let m_values = [20u32, 50, 100, 200, 500, 1000];
+    let runs = 25u64;
+
+    for (idx, &truth) in truths.iter().enumerate() {
+        let k = idx as u32 + 1;
+        println!(
+            "\nA{k} = {truth} V  (true level {:.2} dBm-FS)",
+            amplitude_to_dbfs(truth)
+        );
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>14}",
+            "M", "MN", "mean (dBm)", "min (dBm)", "max (dBm)", "bound ± (dB)"
+        );
+        for &m in &m_values {
+            let mut estimates = Vec::new();
+            let mut widths = Vec::new();
+            for run in 0..runs {
+                // Arbitrary bench start phase per run, like the real setup.
+                let mut awg = MultitoneAwg::fig9_stimulus(96);
+                for _ in 0..(run * 7) % 96 {
+                    let _ = awg.next_sample();
+                }
+                let mut ev = SinewaveEvaluator::new(EvaluatorConfig::cmos_035um(run));
+                let mut src = awg.source();
+                let meas = ev.measure_harmonic(&mut src, k, m).unwrap();
+                estimates.push(amplitude_to_dbfs(meas.amplitude.est));
+                widths.push(
+                    20.0 * (meas.amplitude.hi / meas.amplitude.lo.max(1e-12)).log10() / 2.0,
+                );
+            }
+            let (lo, hi) = bench::min_max(&estimates);
+            println!(
+                "{:>8} {:>10} {:>12.3} {:>12.3} {:>12.3} {:>14.3}",
+                m,
+                m * 96,
+                bench::mean(&estimates),
+                lo,
+                hi,
+                bench::mean(&widths)
+            );
+        }
+    }
+
+    println!(
+        "\nshape checks: A2 sits ≈20 dB and A3 ≈40 dB below A1; the spread\n\
+         and the guaranteed bound shrink ≈10× per decade of MN — the\n\
+         evaluator does not limit the analyzer's dynamic range (paper's\n\
+         conclusion in Section IV.B)."
+    );
+}

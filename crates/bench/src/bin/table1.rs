@@ -1,0 +1,35 @@
+//! Regenerates paper **Table I**: the normalized capacitor values of the
+//! generator biquad, plus the design quantities they imply (resonance and
+//! quality factor — the numbers that make the topology reconstruction in
+//! DESIGN.md check out).
+
+use sigen::biquad::TABLE_I;
+use sigen::CapacitorArray;
+
+fn main() {
+    bench::banner("Table I", "normalized capacitor values of the SC biquad");
+    println!("{:<6} {:>10}", "cap", "value");
+    println!("{:<6} {:>10.3}", "A", TABLE_I.a);
+    println!("{:<6} {:>10.3}", "B", TABLE_I.b);
+    println!("{:<6} {:>10.3}", "C", TABLE_I.c);
+    println!("{:<6} {:>10.3}", "D", TABLE_I.d);
+    println!("{:<6} {:>10.3}", "F", TABLE_I.f);
+    println!("Cin    CI(t) — time-variant array:");
+    let arr = CapacitorArray::nominal();
+    for k in 1..=4 {
+        println!("  CI{k} = 2·sin({k}π/8) = {:.6}", arr.weight(k));
+    }
+    println!();
+    println!("derived design quantities:");
+    println!(
+        "  ω0·T = √(C·D/(A·B)) = {:.5} rad  (2π/32 = {:.5} — resonance at f_wave)",
+        TABLE_I.omega0_t(),
+        2.0 * std::f64::consts::PI / 32.0
+    );
+    println!("  Q    = {:.3}", TABLE_I.quality_factor());
+    println!(
+        "  |H(f_wave)| = {:.4}  → amplitude gain 2·|H| = {:.3} (paper: ×2)",
+        sigen::GeneratorBiquad::amplitude_gain() / 2.0,
+        sigen::GeneratorBiquad::amplitude_gain()
+    );
+}

@@ -1,0 +1,70 @@
+//! Error type of the network analyzer.
+
+use sdeval::EvalError;
+
+/// Errors from network-analyzer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetanError {
+    /// The underlying evaluator rejected the measurement setup.
+    Eval(EvalError),
+    /// A sweep was requested with no frequency points.
+    EmptySweep,
+    /// The requested stimulus frequency is not positive.
+    InvalidFrequency {
+        /// The offending frequency in hertz.
+        hz_millis: i64,
+    },
+}
+
+impl std::fmt::Display for NetanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetanError::Eval(e) => write!(f, "evaluator error: {e}"),
+            NetanError::EmptySweep => write!(f, "sweep needs at least one frequency point"),
+            NetanError::InvalidFrequency { hz_millis } => {
+                write!(
+                    f,
+                    "stimulus frequency must be positive, got {} Hz",
+                    *hz_millis as f64 / 1000.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetanError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for NetanError {
+    fn from(e: EvalError) -> Self {
+        NetanError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = NetanError::from(EvalError::OddPeriods { m: 3 });
+        assert!(e.to_string().contains("evaluator error"));
+        assert!(NetanError::EmptySweep.to_string().contains("at least one"));
+        let f = NetanError::InvalidFrequency { hz_millis: -1500 };
+        assert!(f.to_string().contains("-1.5"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = NetanError::from(EvalError::HarmonicIndexZero);
+        assert!(e.source().is_some());
+        assert!(NetanError::EmptySweep.source().is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! `netan` — the paper's on-chip network analyzer for analog BIST.
+//!
+//! Reproduction of *“Practical Implementation of a Network Analyzer for
+//! Analog BIST Applications”* (Barragán, Vázquez, Rueda — DATE 2008): an
+//! SC sinewave generator ([`sigen`]) stimulates a DUT ([`dut`]); a
+//! ΣΔ-based sinewave evaluator ([`sdeval`]) extracts amplitude and phase
+//! **with hard error bounds**; everything is clocked from one master clock
+//! so the oversampling ratio `N = 96` holds at every sweep point.
+//!
+//! The network analyzer (this crate) adds what Section III.C describes:
+//!
+//! * a **calibration** step over the bypass path that characterizes the
+//!   test stimulus once (its amplitude and phase are set by `VA+−VA−` and
+//!   the digital control, so they do not change across the sweep),
+//! * **gain** = ratio of DUT-output and stimulus amplitude enclosures,
+//! * **phase shift** = difference of the phase enclosures,
+//! * a **frequency sweep** planner (log grid, constant `N`),
+//! * a **harmonic distortion** mode (paper Fig. 10c).
+//!
+//! # Example
+//!
+//! ```
+//! use netan::{AnalyzerConfig, NetworkAnalyzer};
+//! use dut::ActiveRcFilter;
+//! use mixsig::units::Hertz;
+//!
+//! let dut = ActiveRcFilter::paper_dut().linearized();
+//! let mut analyzer = NetworkAnalyzer::new(&dut, AnalyzerConfig::ideal());
+//! let point = analyzer.measure_point(Hertz(1000.0))?;
+//! // 1 kHz Butterworth: −3 dB at the cut-off.
+//! assert!((point.gain_db.est + 3.0).abs() < 0.3);
+//! # Ok::<(), netan::NetanError>(())
+//! ```
+
+pub mod analyzer;
+pub mod error;
+pub mod harmonics;
+pub mod plan;
+pub mod report;
+pub mod spec;
+pub mod sweep;
+
+pub use analyzer::{
+    AnalyzerConfig, BodePoint, Calibration, HardwareProfile, NetworkAnalyzer,
+};
+pub use error::NetanError;
+pub use harmonics::DistortionReport;
+pub use plan::{plan_measurement, TestPlan};
+pub use report::{bode_csv, bode_table, distortion_table};
+pub use spec::{GainMask, MaskPoint, SpecVerdict};
+pub use sweep::{log_spaced, BodePlot};
+
+// Re-export the building blocks users need at the API surface.
+pub use sdeval::Bounded;

@@ -1,0 +1,137 @@
+//! Test-time planning: inverting the error-bound formula.
+//!
+//! The paper's central trade is accuracy for test time: every enclosure
+//! width scales as `1/(M·N)`. A production test engineer needs the inverse
+//! question answered — *how many periods M (and hence how many seconds at
+//! a given stimulus frequency) buys a target accuracy at an expected
+//! level?* [`TestPlan`] computes exactly that from paper eq. (4): the
+//! amplitude half-band is at most `(π/2)·Vref·4√2/(M·N·|c|·…)` around the
+//! estimate, so
+//!
+//! ```text
+//! M ≥ ceil( (π/2)·Vref·4√2 / (N·A·(10^(δ/20) − 1)) )
+//! ```
+//!
+//! for a target of ±δ dB around an expected amplitude `A`.
+
+use mixsig::clock::OVERSAMPLING_RATIO;
+use mixsig::units::{Hertz, Seconds};
+use sdeval::EPSILON_BOUND;
+use std::f64::consts::FRAC_PI_2;
+
+/// A test-time plan for one measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestPlan {
+    /// Required evaluation periods (even).
+    pub periods: u32,
+    /// Master-clock samples consumed (one chop phase).
+    pub samples: u64,
+    /// Wall-clock test time at the given stimulus frequency (both chop
+    /// phases).
+    pub test_time: Seconds,
+}
+
+/// Plans the evaluation length for measuring an expected amplitude
+/// `expected_volts` to within ±`tolerance_db` dB with guaranteed bounds,
+/// at stimulus frequency `f_wave` and DAC reference `vref`.
+///
+/// Conservative: uses the worst-case ε-corner of paper eq. (4) with the
+/// asymptotic demodulation gain `2/π`.
+///
+/// # Panics
+///
+/// Panics if `expected_volts`, `tolerance_db` or `f_wave` are not
+/// strictly positive.
+pub fn plan_measurement(
+    expected_volts: f64,
+    tolerance_db: f64,
+    f_wave: Hertz,
+    vref: f64,
+) -> TestPlan {
+    assert!(expected_volts > 0.0, "expected amplitude must be positive");
+    assert!(tolerance_db > 0.0, "tolerance must be positive");
+    assert!(f_wave.value() > 0.0, "stimulus frequency must be positive");
+    let n = OVERSAMPLING_RATIO as f64;
+    // Worst-case signature displacement: ε on both axes → 4√2 counts.
+    let eps_rss = EPSILON_BOUND * std::f64::consts::SQRT_2;
+    let growth = 10f64.powf(tolerance_db / 20.0) - 1.0;
+    let m_raw = FRAC_PI_2 * vref * eps_rss / (n * expected_volts * growth);
+    let mut m = m_raw.ceil() as u32;
+    m += m % 2; // validity: M even
+    let m = m.max(2);
+    let samples = m as u64 * OVERSAMPLING_RATIO as u64;
+    // Chopped acquisition doubles the sample count.
+    let test_time = Seconds(2.0 * samples as f64 / (f_wave.value() * n));
+    TestPlan {
+        periods: m,
+        samples,
+        test_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::tone::Tone;
+    use sdeval::{EvaluatorConfig, SinewaveEvaluator};
+
+    #[test]
+    fn planned_m_is_even_and_scales() {
+        let a = plan_measurement(0.2, 0.1, Hertz(1000.0), 1.0);
+        let b = plan_measurement(0.02, 0.1, Hertz(1000.0), 1.0);
+        assert_eq!(a.periods % 2, 0);
+        // 10× smaller amplitude → ≈10× more periods.
+        let ratio = b.periods as f64 / a.periods as f64;
+        assert!((ratio - 10.0).abs() < 1.0, "{ratio}");
+    }
+
+    #[test]
+    fn planned_time_scales_inverse_frequency() {
+        let slow = plan_measurement(0.2, 0.1, Hertz(100.0), 1.0);
+        let fast = plan_measurement(0.2, 0.1, Hertz(10_000.0), 1.0);
+        assert!((slow.test_time.value() / fast.test_time.value() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plan_delivers_promised_accuracy() {
+        // Run the planned measurement and verify the enclosure half-width
+        // honours the requested tolerance.
+        for &(a, tol) in &[(0.2f64, 0.2f64), (0.05, 0.5), (0.01, 1.0)] {
+            let plan = plan_measurement(a, tol, Hertz(1000.0), 1.0);
+            let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+            let tone = Tone::new(1.0 / 96.0, a, 0.3);
+            let mut n = 0usize;
+            let mut src = move || {
+                let v = tone.sample(n);
+                n += 1;
+                v
+            };
+            let meas = ev.measure_harmonic(&mut src, 1, plan.periods).unwrap();
+            let up_db = 20.0 * (meas.amplitude.hi / meas.amplitude.est).log10();
+            assert!(
+                up_db <= tol * 1.05,
+                "A={a}, tol={tol}: band +{up_db} dB with M={}",
+                plan.periods
+            );
+            assert!(meas.amplitude.contains(a));
+        }
+    }
+
+    #[test]
+    fn paper_bode_setting_accuracy() {
+        // The paper's M = 200 at the ≈0.3 V stimulus: the plan inverts to
+        // the same order of magnitude for a ≈0.03 dB target.
+        let plan = plan_measurement(0.3, 0.027, Hertz(1000.0), 1.0);
+        assert!(
+            plan.periods >= 100 && plan.periods <= 400,
+            "{}",
+            plan.periods
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_amplitude_rejected() {
+        let _ = plan_measurement(0.0, 0.1, Hertz(1000.0), 1.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Text and CSV rendering of analyzer results.
+
+use crate::harmonics::DistortionReport;
+use crate::sweep::BodePlot;
+use std::fmt::Write as _;
+
+/// Renders a Bode plot as a human-readable table (the rows of paper
+/// Fig. 10a/b).
+pub fn bode_table(plot: &BodePlot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>12} {:>10} {:>18} {:>10} {:>10} {:>20} {:>12}",
+        "freq (Hz)", "gain (dB)", "gain band (dB)", "ideal", "phase (°)", "phase band (°)", "ideal (°)"
+    );
+    for p in plot.points() {
+        let _ = writeln!(
+            out,
+            "{:>12.1} {:>10.3} [{:>7.3}, {:>7.3}] {:>10.3} {:>10.2} [{:>8.2}, {:>8.2}] {:>12.2}",
+            p.frequency.value(),
+            p.gain_db.est,
+            p.gain_db.lo,
+            p.gain_db.hi,
+            p.ideal_gain_db,
+            p.phase_deg.est,
+            p.phase_deg.lo,
+            p.phase_deg.hi,
+            p.ideal_phase_deg,
+        );
+    }
+    out
+}
+
+/// Renders a Bode plot as CSV with a header row.
+pub fn bode_csv(plot: &BodePlot) -> String {
+    let mut out = String::from(
+        "freq_hz,gain_db,gain_db_lo,gain_db_hi,ideal_gain_db,phase_deg,phase_deg_lo,phase_deg_hi,ideal_phase_deg\n",
+    );
+    for p in plot.points() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            p.frequency.value(),
+            p.gain_db.est,
+            p.gain_db.lo,
+            p.gain_db.hi,
+            p.ideal_gain_db,
+            p.phase_deg.est,
+            p.phase_deg.lo,
+            p.phase_deg.hi,
+            p.ideal_phase_deg,
+        );
+    }
+    out
+}
+
+/// Renders a distortion report (the read-offs of paper Fig. 10c).
+pub fn distortion_table(report: &DistortionReport) -> String {
+    let mut out = String::new();
+    let fund = report.fundamental();
+    let _ = writeln!(out, "fundamental: {:.4} V  [{:.4}, {:.4}]", fund.est, fund.lo, fund.hi);
+    for m in &report.measurements()[1..] {
+        let hd = report.hd_dbc(m.k);
+        let _ = writeln!(
+            out,
+            "H{}: {:>7.2} dBc  [{:>7.2}, {:>7.2}]   ({:.3} mV)",
+            m.k,
+            hd.est,
+            hd.lo,
+            hd.hi,
+            m.amplitude.est * 1e3,
+        );
+    }
+    let _ = writeln!(out, "THD: {:.2} dB", report.thd_db());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::BodePoint;
+    use mixsig::units::Hertz;
+    use sdeval::{Bounded, HarmonicMeasurement, SignaturePair};
+
+    fn plot() -> BodePlot {
+        BodePlot::new(vec![BodePoint {
+            frequency: Hertz(1000.0),
+            gain: Bounded::new(0.7, 0.707, 0.72),
+            gain_db: Bounded::new(-3.1, -3.01, -2.9),
+            phase_deg: Bounded::new(-91.0, -90.0, -89.0),
+            ideal_gain_db: -3.01,
+            ideal_phase_deg: -90.0,
+        }])
+    }
+
+    #[test]
+    fn table_contains_values() {
+        let t = bode_table(&plot());
+        assert!(t.contains("1000.0"));
+        assert!(t.contains("-3.01"));
+        assert!(t.contains("-90.00"));
+    }
+
+    #[test]
+    fn csv_round_trips_fields() {
+        let c = bode_csv(&plot());
+        let mut lines = c.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 9);
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), 9);
+        assert!(row.starts_with("1000"));
+    }
+
+    #[test]
+    fn distortion_table_lists_harmonics() {
+        let mk = |k: u32, a: f64| HarmonicMeasurement {
+            k,
+            amplitude: Bounded::new(a * 0.99, a, a * 1.01),
+            phase: Bounded::point(0.0),
+            signatures: SignaturePair {
+                i1: 0.0,
+                i2: 0.0,
+                m: 2,
+                n: 96,
+                k,
+            },
+            samples_consumed: 0,
+        };
+        let r = DistortionReport::new(vec![mk(1, 0.2), mk(2, 0.0002)]);
+        let t = distortion_table(&r);
+        assert!(t.contains("fundamental"));
+        assert!(t.contains("H2"));
+        assert!(t.contains("THD"));
+    }
+}

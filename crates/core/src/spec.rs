@@ -1,0 +1,195 @@
+//! BIST go/no-go testing against a frequency-response mask.
+//!
+//! The point of an *on-chip* network analyzer is production self-test:
+//! decide pass/fail against a specification without an external ATE. The
+//! hard error bounds of the signature DSP make the verdict trichotomous:
+//!
+//! * **Pass** — the measured enclosure lies entirely inside the mask,
+//! * **Fail** — the enclosure lies entirely outside,
+//! * **Ambiguous** — the enclosure straddles a limit: the device cannot be
+//!   classified *at this test time*; re-test with a larger `M` (the paper's
+//!   accuracy-for-test-time trade-off made operational).
+
+use crate::analyzer::BodePoint;
+use mixsig::units::Hertz;
+use sdeval::Bounded;
+
+/// Verdict of a spec check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecVerdict {
+    /// Enclosure entirely inside the limits.
+    Pass,
+    /// Enclosure entirely outside the limits.
+    Fail,
+    /// Enclosure straddles a limit — increase `M` and re-test.
+    Ambiguous,
+}
+
+/// One mask point: gain limits at a frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaskPoint {
+    /// Frequency of the check.
+    pub frequency: Hertz,
+    /// Minimum acceptable gain, dB.
+    pub min_db: f64,
+    /// Maximum acceptable gain, dB.
+    pub max_db: f64,
+}
+
+impl MaskPoint {
+    /// Creates a mask point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_db > max_db`.
+    pub fn new(frequency: Hertz, min_db: f64, max_db: f64) -> Self {
+        assert!(min_db <= max_db, "mask limits inverted at {frequency}");
+        Self {
+            frequency,
+            min_db,
+            max_db,
+        }
+    }
+
+    /// Classifies a gain enclosure against this point's limits.
+    pub fn classify(&self, gain_db: &Bounded) -> SpecVerdict {
+        if gain_db.lo >= self.min_db && gain_db.hi <= self.max_db {
+            SpecVerdict::Pass
+        } else if gain_db.hi < self.min_db || gain_db.lo > self.max_db {
+            SpecVerdict::Fail
+        } else {
+            SpecVerdict::Ambiguous
+        }
+    }
+}
+
+/// A gain mask: a set of frequency/limit points.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GainMask {
+    points: Vec<MaskPoint>,
+}
+
+impl GainMask {
+    /// An empty mask.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style mask point addition.
+    #[must_use]
+    pub fn with_point(mut self, p: MaskPoint) -> Self {
+        self.points.push(p);
+        self
+    }
+
+    /// A mask for the paper's DUT: passband flat within ±1 dB below
+    /// 500 Hz, −3 dB ± 1.5 dB at 1 kHz, at least 35 dB attenuation at
+    /// 10 kHz.
+    pub fn paper_lowpass() -> Self {
+        Self::new()
+            .with_point(MaskPoint::new(Hertz(200.0), -1.0, 1.0))
+            .with_point(MaskPoint::new(Hertz(500.0), -1.5, 0.5))
+            .with_point(MaskPoint::new(Hertz(1000.0), -4.5, -1.5))
+            .with_point(MaskPoint::new(Hertz(10_000.0), -90.0, -35.0))
+    }
+
+    /// The mask points (and therefore the sweep plan for a check).
+    pub fn points(&self) -> &[MaskPoint] {
+        &self.points
+    }
+
+    /// The frequencies a check must measure.
+    pub fn frequencies(&self) -> Vec<Hertz> {
+        self.points.iter().map(|p| p.frequency).collect()
+    }
+
+    /// Classifies a measured Bode point set (must be in mask order, e.g.
+    /// produced by sweeping [`GainMask::frequencies`]). The overall verdict
+    /// is `Fail` if any point fails, else `Ambiguous` if any point is
+    /// ambiguous, else `Pass`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len()` differs from the mask length.
+    pub fn classify(&self, points: &[BodePoint]) -> SpecVerdict {
+        assert_eq!(
+            points.len(),
+            self.points.len(),
+            "measured points must match the mask"
+        );
+        let mut verdict = SpecVerdict::Pass;
+        for (mask, meas) in self.points.iter().zip(points) {
+            match mask.classify(&meas.gain_db) {
+                SpecVerdict::Fail => return SpecVerdict::Fail,
+                SpecVerdict::Ambiguous => verdict = SpecVerdict::Ambiguous,
+                SpecVerdict::Pass => {}
+            }
+        }
+        verdict
+    }
+}
+
+impl FromIterator<MaskPoint> for GainMask {
+    fn from_iter<I: IntoIterator<Item = MaskPoint>>(iter: I) -> Self {
+        Self {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_pass_fail_ambiguous() {
+        let p = MaskPoint::new(Hertz(1000.0), -4.0, -2.0);
+        assert_eq!(
+            p.classify(&Bounded::new(-3.2, -3.0, -2.8)),
+            SpecVerdict::Pass
+        );
+        assert_eq!(
+            p.classify(&Bounded::new(-1.5, -1.2, -1.0)),
+            SpecVerdict::Fail
+        );
+        assert_eq!(
+            p.classify(&Bounded::new(-2.3, -2.0, -1.8)),
+            SpecVerdict::Ambiguous
+        );
+    }
+
+    #[test]
+    fn mask_aggregates_worst_verdict() {
+        use crate::analyzer::BodePoint;
+        let mask = GainMask::new()
+            .with_point(MaskPoint::new(Hertz(100.0), -1.0, 1.0))
+            .with_point(MaskPoint::new(Hertz(1000.0), -4.0, -2.0));
+        let mk = |db_lo: f64, db: f64, db_hi: f64, f: f64| BodePoint {
+            frequency: Hertz(f),
+            gain: Bounded::point(1.0),
+            gain_db: Bounded::new(db_lo, db, db_hi),
+            phase_deg: Bounded::point(0.0),
+            ideal_gain_db: db,
+            ideal_phase_deg: 0.0,
+        };
+        let pass = [mk(-0.1, 0.0, 0.1, 100.0), mk(-3.1, -3.0, -2.9, 1000.0)];
+        assert_eq!(mask.classify(&pass), SpecVerdict::Pass);
+        let ambiguous = [mk(-0.1, 0.0, 0.1, 100.0), mk(-2.1, -2.0, -1.9, 1000.0)];
+        assert_eq!(mask.classify(&ambiguous), SpecVerdict::Ambiguous);
+        let fail = [mk(2.0, 2.5, 3.0, 100.0), mk(-2.1, -2.0, -1.9, 1000.0)];
+        assert_eq!(mask.classify(&fail), SpecVerdict::Fail);
+    }
+
+    #[test]
+    fn paper_mask_has_four_points() {
+        let m = GainMask::paper_lowpass();
+        assert_eq!(m.points().len(), 4);
+        assert_eq!(m.frequencies().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_limits_panic() {
+        let _ = MaskPoint::new(Hertz(1.0), 1.0, -1.0);
+    }
+}

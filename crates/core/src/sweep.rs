@@ -1,0 +1,183 @@
+//! Sweep planning and the Bode-plot container.
+//!
+//! The paper sweeps the Bode characterization by sweeping the *master
+//! clock*: `f_eva = 96·f_wave`, so the oversampling ratio — and with it
+//! the error-bound math — is identical at every point.
+
+use crate::analyzer::BodePoint;
+use mixsig::units::Hertz;
+
+/// Logarithmically spaced frequencies from `start` to `stop` inclusive.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or either endpoint is non-positive.
+pub fn log_spaced(start: Hertz, stop: Hertz, points: usize) -> Vec<Hertz> {
+    assert!(points >= 2, "need at least two sweep points");
+    assert!(
+        start.value() > 0.0 && stop.value() > 0.0,
+        "log sweep endpoints must be positive"
+    );
+    let l0 = start.value().ln();
+    let l1 = stop.value().ln();
+    (0..points)
+        .map(|i| {
+            let t = i as f64 / (points - 1) as f64;
+            Hertz((l0 + t * (l1 - l0)).exp())
+        })
+        .collect()
+}
+
+/// The result of a frequency sweep: an ordered set of [`BodePoint`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodePlot {
+    points: Vec<BodePoint>,
+}
+
+impl BodePlot {
+    /// Wraps a list of measured points.
+    pub fn new(points: Vec<BodePoint>) -> Self {
+        Self { points }
+    }
+
+    /// The measured points.
+    pub fn points(&self) -> &[BodePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Worst absolute deviation of the gain estimate from the DUT's
+    /// analytic response, dB.
+    pub fn worst_gain_error_db(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| (p.gain_db.est - p.ideal_gain_db).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of points whose gain enclosure contains the analytic value.
+    pub fn gain_coverage(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let hits = self
+            .points
+            .iter()
+            .filter(|p| p.gain_db.lo <= p.ideal_gain_db && p.ideal_gain_db <= p.gain_db.hi)
+            .count();
+        hits as f64 / self.points.len() as f64
+    }
+
+    /// The −3 dB frequency estimated by linear interpolation on the
+    /// measured gain curve (None if the curve never crosses −3 dB relative
+    /// to the first point).
+    pub fn cutoff_frequency(&self) -> Option<Hertz> {
+        let reference = self.points.first()?.gain_db.est;
+        let target = reference - 3.0103;
+        for w in self.points.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if (a.gain_db.est - target) * (b.gain_db.est - target) <= 0.0
+                && a.gain_db.est != b.gain_db.est
+            {
+                let t = (target - a.gain_db.est) / (b.gain_db.est - a.gain_db.est);
+                let lf = a.frequency.value().ln()
+                    + t * (b.frequency.value().ln() - a.frequency.value().ln());
+                return Some(Hertz(lf.exp()));
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<BodePoint> for BodePlot {
+    fn from_iter<I: IntoIterator<Item = BodePoint>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdeval::Bounded;
+
+    fn synthetic_point(f: f64, gain_db: f64, ideal_db: f64) -> BodePoint {
+        BodePoint {
+            frequency: Hertz(f),
+            gain: Bounded::point(10f64.powf(gain_db / 20.0)),
+            gain_db: Bounded::new(gain_db - 0.1, gain_db, gain_db + 0.1),
+            phase_deg: Bounded::point(0.0),
+            ideal_gain_db: ideal_db,
+            ideal_phase_deg: 0.0,
+        }
+    }
+
+    #[test]
+    fn log_spacing_endpoints_and_monotonic() {
+        let f = log_spaced(Hertz(100.0), Hertz(20_000.0), 25);
+        assert_eq!(f.len(), 25);
+        assert!((f[0].value() - 100.0).abs() < 1e-9);
+        assert!((f[24].value() - 20_000.0).abs() < 1e-6);
+        for w in f.windows(2) {
+            assert!(w[1].value() > w[0].value());
+        }
+    }
+
+    #[test]
+    fn log_spacing_is_geometric() {
+        let f = log_spaced(Hertz(10.0), Hertz(1000.0), 3);
+        assert!((f[1].value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_counts_enclosures() {
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.05),  // inside ±0.1
+            synthetic_point(200.0, 0.0, 0.5),   // outside
+        ]);
+        assert!((plot.gain_coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_error_is_max() {
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.05),
+            synthetic_point(200.0, -3.0, -2.0),
+        ]);
+        assert!((plot.worst_gain_error_db() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_interpolates() {
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.0),
+            synthetic_point(1000.0, -3.0103, -3.0),
+            synthetic_point(10_000.0, -40.0, -40.0),
+        ]);
+        let fc = plot.cutoff_frequency().unwrap();
+        assert!((fc.value() - 1000.0).abs() / 1000.0 < 0.01, "{}", fc.value());
+    }
+
+    #[test]
+    fn cutoff_none_for_flat_curve() {
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.0),
+            synthetic_point(1000.0, -0.5, 0.0),
+        ]);
+        assert!(plot.cutoff_frequency().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_sweep_panics() {
+        let _ = log_spaced(Hertz(100.0), Hertz(200.0), 1);
+    }
+}

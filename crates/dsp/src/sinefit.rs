@@ -1,0 +1,184 @@
+//! Three-parameter least-squares sine fit (IEEE 1057 style).
+//!
+//! Given a record and a *known* normalized frequency (always the case here:
+//! stimulus and sampling share the master clock), solves
+//!
+//! ```text
+//! x[n] ≈ A·cos(2πf·n) + B·sin(2πf·n) + C
+//! ```
+//!
+//! in the least-squares sense via the 3×3 normal equations, then reports the
+//! amplitude `√(A²+B²)`, phase and DC. This is the reference-grade amplitude
+//! estimator used to validate the ΣΔ evaluator against "true" values.
+
+use crate::goertzel::wrap_phase;
+use std::f64::consts::PI;
+
+/// Result of a three-parameter sine fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineFit {
+    /// Fitted peak amplitude.
+    pub amplitude: f64,
+    /// Fitted phase (radians) for the `a·sin(2πfn + φ)` convention.
+    pub phase: f64,
+    /// Fitted DC offset.
+    pub dc: f64,
+    /// Root-mean-square residual of the fit.
+    pub rms_residual: f64,
+}
+
+impl SineFit {
+    /// Fits `x` at known normalized frequency `f` (cycles/sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() < 4` (under-determined fit).
+    pub fn fit(x: &[f64], f: f64) -> Self {
+        assert!(x.len() >= 4, "sine fit needs at least 4 samples");
+        let n = x.len();
+        // Accumulate normal equations for basis [cos, sin, 1].
+        let (mut scc, mut scs, mut sc) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut sss, mut ss) = (0.0f64, 0.0f64);
+        let (mut sxc, mut sxs, mut sx) = (0.0f64, 0.0f64, 0.0f64);
+        for (i, &xi) in x.iter().enumerate() {
+            let th = 2.0 * PI * f * i as f64;
+            let (s, c) = th.sin_cos();
+            scc += c * c;
+            scs += c * s;
+            sc += c;
+            sss += s * s;
+            ss += s;
+            sxc += xi * c;
+            sxs += xi * s;
+            sx += xi;
+        }
+        let nn = n as f64;
+        // Solve the symmetric 3x3 system
+        // [scc scs sc ] [A]   [sxc]
+        // [scs sss ss ] [B] = [sxs]
+        // [sc  ss  nn ] [C]   [sx ]
+        let m = [[scc, scs, sc], [scs, sss, ss], [sc, ss, nn]];
+        let rhs = [sxc, sxs, sx];
+        let sol = solve3(m, rhs);
+        let (a, b, c) = (sol[0], sol[1], sol[2]);
+        // A·cos + B·sin = R·sin(θ + φ) with R = hypot, φ = atan2(A, B).
+        let amplitude = a.hypot(b);
+        let phase = wrap_phase(a.atan2(b));
+        let mut res = 0.0;
+        for (i, &xi) in x.iter().enumerate() {
+            let th = 2.0 * PI * f * i as f64;
+            let fit = a * th.cos() + b * th.sin() + c;
+            res += (xi - fit) * (xi - fit);
+        }
+        Self {
+            amplitude,
+            phase,
+            dc: c,
+            rms_residual: (res / nn).sqrt(),
+        }
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
+fn solve3(mut m: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let mut p = col;
+        for r in col + 1..3 {
+            if m[r][col].abs() > m[p][col].abs() {
+                p = r;
+            }
+        }
+        m.swap(col, p);
+        b.swap(col, p);
+        let d = m[col][col];
+        for r in col + 1..3 {
+            let k = m[r][col] / d;
+            let pivot_row = m[col];
+            for (c, cell) in m[r].iter_mut().enumerate().skip(col) {
+                *cell -= k * pivot_row[c];
+            }
+            b[r] -= k * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut s = b[row];
+        for c in row + 1..3 {
+            s -= m[row][c] * x[c];
+        }
+        x[row] = s / m[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tone::Tone;
+
+    #[test]
+    fn exact_recovery_of_clean_sine() {
+        let n = 960;
+        let f = 10.0 / n as f64;
+        let x: Vec<f64> = Tone::new(f, 0.8, 0.6)
+            .samples(n)
+            .iter()
+            .map(|v| v + 0.05)
+            .collect();
+        let fit = SineFit::fit(&x, f);
+        assert!((fit.amplitude - 0.8).abs() < 1e-10);
+        assert!((fit.phase - 0.6).abs() < 1e-10);
+        assert!((fit.dc - 0.05).abs() < 1e-10);
+        assert!(fit.rms_residual < 1e-10);
+    }
+
+    #[test]
+    fn non_coherent_record_still_fits() {
+        // 10.37 cycles in the record — FFT would smear, the fit does not.
+        let n = 1000;
+        let f = 10.37 / n as f64;
+        let x = Tone::new(f, 0.3, -1.2).samples(n);
+        let fit = SineFit::fit(&x, f);
+        assert!((fit.amplitude - 0.3).abs() < 1e-9);
+        assert!((fit.phase + 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_reports_noise_level() {
+        let n = 4096;
+        let f = 100.0 / n as f64;
+        // Deterministic pseudo-noise.
+        let x: Vec<f64> = Tone::new(f, 1.0, 0.0)
+            .samples(n)
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 0.01 * ((i * 2654435761) as f64 * 1e-9).sin())
+            .collect();
+        let fit = SineFit::fit(&x, f);
+        assert!((fit.amplitude - 1.0).abs() < 1e-3);
+        assert!(fit.rms_residual > 1e-3 && fit.rms_residual < 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn too_short_panics() {
+        let _ = SineFit::fit(&[0.0, 1.0, 0.0], 0.25);
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, -1.0, 2.0]);
+        assert_eq!(x, [3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solve3_pivoting_works() {
+        // First pivot is zero — requires row exchange.
+        let m = [[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 2.0]];
+        let x = solve3(m, [5.0, 7.0, 4.0]);
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+}

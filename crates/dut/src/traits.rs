@@ -1,0 +1,96 @@
+//! The [`Dut`] abstraction.
+
+use mixsig::ct::FrequencyResponse;
+use mixsig::units::Hertz;
+
+/// A device under test: a description that can be instantiated into a
+/// streaming simulator at any sampling rate.
+pub trait Dut {
+    /// The ideal (nominal, linear) frequency response — the reference curve
+    /// for Bode comparisons.
+    fn ideal_response(&self, f: Hertz) -> FrequencyResponse;
+
+    /// Creates a streaming simulator sampled at `fs`.
+    fn instantiate(&self, fs: Hertz) -> Box<dyn DutSim>;
+
+    /// Ideal magnitude in dB at `f`.
+    fn ideal_magnitude_db(&self, f: Hertz) -> f64 {
+        20.0 * self.ideal_response(f).magnitude.log10()
+    }
+
+    /// Ideal phase in degrees at `f`.
+    fn ideal_phase_deg(&self, f: Hertz) -> f64 {
+        self.ideal_response(f).phase.to_degrees()
+    }
+}
+
+/// A streaming DUT simulator: one output sample per input sample.
+pub trait DutSim {
+    /// Processes one input sample.
+    fn step(&mut self, input: f64) -> f64;
+
+    /// Resets internal state to zero.
+    fn reset(&mut self);
+
+    /// Processes a whole record (convenience).
+    fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&u| self.step(u)).collect()
+    }
+}
+
+/// The identity device — the calibration bypass path as a [`Dut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Bypass;
+
+impl Dut for Bypass {
+    fn ideal_response(&self, _f: Hertz) -> FrequencyResponse {
+        FrequencyResponse {
+            magnitude: 1.0,
+            phase: 0.0,
+        }
+    }
+
+    fn instantiate(&self, _fs: Hertz) -> Box<dyn DutSim> {
+        Box::new(BypassSim)
+    }
+}
+
+/// Streaming simulator of [`Bypass`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BypassSim;
+
+impl DutSim for BypassSim {
+    fn step(&mut self, input: f64) -> f64 {
+        input
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bypass_is_identity() {
+        let mut sim = Bypass.instantiate(Hertz(96_000.0));
+        for &v in &[0.0, 1.0, -0.5, 3.25] {
+            assert_eq!(sim.step(v), v);
+        }
+        let r = Bypass.ideal_response(Hertz(123.0));
+        assert_eq!(r.magnitude, 1.0);
+        assert_eq!(r.phase, 0.0);
+    }
+
+    #[test]
+    fn process_maps_whole_record() {
+        let mut sim = Bypass.instantiate(Hertz(1.0));
+        assert_eq!(sim.process(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn default_db_helpers() {
+        assert_eq!(Bypass.ideal_magnitude_db(Hertz(5.0)), 0.0);
+        assert_eq!(Bypass.ideal_phase_deg(Hertz(5.0)), 0.0);
+    }
+}

@@ -1,0 +1,434 @@
+//! Continuous-time LTI simulation.
+//!
+//! The paper's DUT — an active-RC 2nd-order low-pass on the demonstrator
+//! board — is a continuous-time circuit sampled by the evaluator at
+//! `f_eva`. We model it as a state-space system
+//!
+//! ```text
+//! ẋ = A·x + B·u,    y = C·x + D·u
+//! ```
+//!
+//! and discretize it *exactly* under a zero-order-hold input using the
+//! augmented matrix exponential
+//!
+//! ```text
+//! exp([A B; 0 0]·T) = [Ad Bd; 0 I]
+//! ```
+//!
+//! so stepping the DUT at the master-clock rate introduces no numerical
+//! integration error of its own. [`TransferFunction`] evaluates the ideal
+//! `H(jω)` used as the reference curve in the Bode experiments.
+
+use crate::matrix::Matrix;
+use crate::units::Hertz;
+use dsp_complex::Complex64;
+
+// `mixsig` does not depend on the `dsp` crate (it sits below it in the
+// DAG); a tiny local complex type would duplicate `dsp::Complex64`.
+// Instead we re-implement the two operations needed for H(jω) on a private
+// alias to keep the dependency direction clean.
+mod dsp_complex {
+    /// Minimal complex arithmetic for transfer-function evaluation.
+    #[derive(Debug, Clone, Copy, PartialEq, Default)]
+    pub struct Complex64 {
+        /// Real part.
+        pub re: f64,
+        /// Imaginary part.
+        pub im: f64,
+    }
+
+    impl Complex64 {
+        pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+
+        pub const fn new(re: f64, im: f64) -> Self {
+            Self { re, im }
+        }
+
+        pub fn abs(self) -> f64 {
+            self.re.hypot(self.im)
+        }
+
+        pub fn arg(self) -> f64 {
+            self.im.atan2(self.re)
+        }
+
+        pub fn mul(self, o: Self) -> Self {
+            Self::new(
+                self.re * o.re - self.im * o.im,
+                self.re * o.im + self.im * o.re,
+            )
+        }
+
+        pub fn add(self, o: Self) -> Self {
+            Self::new(self.re + o.re, self.im + o.im)
+        }
+
+        pub fn div(self, o: Self) -> Self {
+            let d = o.re * o.re + o.im * o.im;
+            Self::new(
+                (self.re * o.re + self.im * o.im) / d,
+                (self.im * o.re - self.re * o.im) / d,
+            )
+        }
+    }
+}
+
+/// Frequency-response sample of a transfer function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyResponse {
+    /// Magnitude (linear).
+    pub magnitude: f64,
+    /// Phase in radians.
+    pub phase: f64,
+}
+
+/// A rational transfer function in `s`: `H(s) = num(s)/den(s)`,
+/// coefficients in ascending powers of `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFunction {
+    num: Vec<f64>,
+    den: Vec<f64>,
+}
+
+impl TransferFunction {
+    /// Creates a transfer function from numerator and denominator
+    /// coefficients in **ascending** powers of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is empty or all-zero.
+    pub fn new(num: Vec<f64>, den: Vec<f64>) -> Self {
+        assert!(
+            den.iter().any(|&c| c != 0.0),
+            "denominator must be nonzero"
+        );
+        Self { num, den }
+    }
+
+    /// The canonical 2nd-order low-pass `H(s) = G·ω0² / (s² + (ω0/Q)s + ω0²)`.
+    pub fn lowpass_biquad(f0: Hertz, q: f64, gain: f64) -> Self {
+        let w0 = 2.0 * std::f64::consts::PI * f0.value();
+        Self::new(vec![gain * w0 * w0], vec![w0 * w0, w0 / q, 1.0])
+    }
+
+    /// The canonical 2nd-order band-pass `H(s) = G·(ω0/Q)s / (s² + (ω0/Q)s + ω0²)`.
+    pub fn bandpass_biquad(f0: Hertz, q: f64, gain: f64) -> Self {
+        let w0 = 2.0 * std::f64::consts::PI * f0.value();
+        Self::new(vec![0.0, gain * w0 / q], vec![w0 * w0, w0 / q, 1.0])
+    }
+
+    /// The canonical 2nd-order high-pass `H(s) = G·s² / (s² + (ω0/Q)s + ω0²)`.
+    pub fn highpass_biquad(f0: Hertz, q: f64, gain: f64) -> Self {
+        let w0 = 2.0 * std::f64::consts::PI * f0.value();
+        Self::new(vec![0.0, 0.0, gain], vec![w0 * w0, w0 / q, 1.0])
+    }
+
+    /// Numerator coefficients (ascending powers of `s`).
+    pub fn numerator(&self) -> &[f64] {
+        &self.num
+    }
+
+    /// Denominator coefficients (ascending powers of `s`).
+    pub fn denominator(&self) -> &[f64] {
+        &self.den
+    }
+
+    /// Evaluates `H(jω)` at frequency `f`.
+    pub fn response(&self, f: Hertz) -> FrequencyResponse {
+        let w = 2.0 * std::f64::consts::PI * f.value();
+        let jw = Complex64::new(0.0, w);
+        let eval = |coeffs: &[f64]| {
+            let mut acc = Complex64::ZERO;
+            let mut power = Complex64::new(1.0, 0.0);
+            for &c in coeffs {
+                acc = acc.add(Complex64::new(c * power.re, c * power.im));
+                power = power.mul(jw);
+            }
+            acc
+        };
+        let h = eval(&self.num).div(eval(&self.den));
+        FrequencyResponse {
+            magnitude: h.abs(),
+            phase: h.arg(),
+        }
+    }
+
+    /// Magnitude in dB at frequency `f`.
+    pub fn magnitude_db(&self, f: Hertz) -> f64 {
+        20.0 * self.response(f).magnitude.log10()
+    }
+
+    /// Phase in degrees at frequency `f`.
+    pub fn phase_deg(&self, f: Hertz) -> f64 {
+        self.response(f).phase.to_degrees()
+    }
+
+    /// Controllable-canonical state-space realization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator order exceeds the denominator order
+    /// (non-proper system).
+    pub fn to_state_space(&self) -> StateSpace {
+        let n = self.den.len() - 1;
+        assert!(
+            self.num.len() <= self.den.len(),
+            "transfer function must be proper"
+        );
+        let a_n = self.den[n];
+        // Normalize so the highest denominator coefficient is 1.
+        let den: Vec<f64> = self.den.iter().map(|c| c / a_n).collect();
+        let mut num: Vec<f64> = self.num.iter().map(|c| c / a_n).collect();
+        num.resize(n + 1, 0.0);
+        let d_term = num[n];
+        // Companion form.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n.saturating_sub(1) {
+            a[(i, i + 1)] = 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = -den[j];
+        }
+        let mut b = Matrix::zeros(n, 1);
+        if n > 0 {
+            b[(n - 1, 0)] = 1.0;
+        }
+        let mut c = Matrix::zeros(1, n);
+        for j in 0..n {
+            c[(0, j)] = num[j] - den[j] * d_term;
+        }
+        StateSpace::new(a, b, c, d_term)
+    }
+}
+
+/// A single-input single-output continuous-time state-space system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: f64,
+    state: Vec<f64>,
+}
+
+impl StateSpace {
+    /// Creates a state-space system; `a` must be `n×n`, `b` `n×1`, `c` `1×n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: f64) -> Self {
+        let n = a.rows();
+        assert_eq!(a.cols(), n, "A must be square");
+        assert_eq!((b.rows(), b.cols()), (n, 1), "B must be n×1");
+        assert_eq!((c.rows(), c.cols()), (1, n), "C must be 1×n");
+        Self {
+            a,
+            b,
+            c,
+            d,
+            state: vec![0.0; n],
+        }
+    }
+
+    /// System order.
+    pub fn order(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Current state vector.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Resets the state to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Produces an exact zero-order-hold discretization at sample time `dt`
+    /// seconds, returning a stepper that advances one sample per call.
+    pub fn discretize_zoh(&self, dt: f64) -> DiscreteStateSpace {
+        let n = self.order();
+        // Augmented matrix [[A, B], [0, 0]] · dt, exponentiated.
+        let mut aug = Matrix::zeros(n + 1, n + 1);
+        for r in 0..n {
+            for c in 0..n {
+                aug[(r, c)] = self.a[(r, c)] * dt;
+            }
+            aug[(r, n)] = self.b[(r, 0)] * dt;
+        }
+        let e = aug.expm();
+        let ad = e.block(0, 0, n, n);
+        let bd = e.block(0, n, n, 1);
+        DiscreteStateSpace {
+            ad,
+            bd,
+            c: self.c.clone(),
+            d: self.d,
+            state: vec![0.0; n],
+        }
+    }
+}
+
+/// A discrete-time state-space stepper produced by
+/// [`StateSpace::discretize_zoh`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteStateSpace {
+    ad: Matrix,
+    bd: Matrix,
+    c: Matrix,
+    d: f64,
+    state: Vec<f64>,
+}
+
+impl DiscreteStateSpace {
+    /// Advances one sample with held input `u`, returning the output.
+    pub fn step(&mut self, u: f64) -> f64 {
+        let y = self
+            .c
+            .mul_vec(&self.state)
+            .first()
+            .copied()
+            .unwrap_or(0.0)
+            + self.d * u;
+        let ax = self.ad.mul_vec(&self.state);
+        for (i, x) in self.state.iter_mut().enumerate() {
+            *x = ax[i] + self.bd[(i, 0)] * u;
+        }
+        y
+    }
+
+    /// Processes a whole record.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&u| self.step(u)).collect()
+    }
+
+    /// Resets the internal state to zero.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Current state vector.
+    pub fn state(&self) -> &[f64] {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn lowpass_dc_gain_and_rolloff() {
+        let tf = TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        assert!(close(tf.response(Hertz(0.001)).magnitude, 1.0, 1e-6));
+        // Butterworth: -3 dB at f0.
+        assert!(close(tf.magnitude_db(Hertz(1000.0)), -3.0103, 0.01));
+        // -40 dB/dec beyond: at 10 kHz expect about -40 dB.
+        assert!(tf.magnitude_db(Hertz(10_000.0)) < -39.0);
+    }
+
+    #[test]
+    fn lowpass_phase_limits() {
+        let tf = TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        assert!(tf.phase_deg(Hertz(1.0)).abs() < 0.2);
+        assert!(close(tf.phase_deg(Hertz(1000.0)), -90.0, 0.1));
+        assert!(tf.phase_deg(Hertz(100_000.0)) < -175.0);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_f0() {
+        let tf = TransferFunction::bandpass_biquad(Hertz(1000.0), 5.0, 1.0);
+        let at_f0 = tf.response(Hertz(1000.0)).magnitude;
+        assert!(close(at_f0, 1.0, 1e-6));
+        assert!(tf.response(Hertz(100.0)).magnitude < 0.3);
+        assert!(tf.response(Hertz(10_000.0)).magnitude < 0.3);
+    }
+
+    #[test]
+    fn highpass_passes_high() {
+        let tf = TransferFunction::highpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 2.0);
+        assert!(close(tf.response(Hertz(1.0e6)).magnitude, 2.0, 1e-3));
+        assert!(tf.response(Hertz(10.0)).magnitude < 0.001);
+    }
+
+    #[test]
+    fn state_space_matches_transfer_function_sine_response() {
+        // Drive the discretized system with a sine and compare the steady
+        // state amplitude/phase with H(jω).
+        let f0 = Hertz(1000.0);
+        let tf = TransferFunction::lowpass_biquad(f0, std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        let fs = 96_000.0;
+        let f_test = 2_000.0;
+        let mut dss = tf.to_state_space().discretize_zoh(1.0 / fs);
+        let n = 96 * 200;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f_test * i as f64 / fs).sin())
+            .collect();
+        let y = dss.process(&x);
+        // Discard the first half (transient), fit the rest.
+        let steady = &y[n / 2..];
+        let amp = steady
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let expect = tf.response(Hertz(f_test)).magnitude;
+        assert!(close(amp, expect, 0.01), "amp {amp} vs {expect}");
+    }
+
+    #[test]
+    fn zoh_step_response_of_first_order() {
+        // H(s) = 1/(1 + s/ω); step response 1 - e^{-ωt}, exact under ZOH.
+        let w = 2.0 * std::f64::consts::PI * 100.0;
+        let tf = TransferFunction::new(vec![1.0], vec![1.0, 1.0 / w]);
+        let dt = 1.0e-4;
+        let mut dss = tf.to_state_space().discretize_zoh(dt);
+        let mut y = 0.0;
+        for _ in 0..50 {
+            y = dss.step(1.0);
+        }
+        // After 49 full steps the output equals 1 - e^{-ω·49·dt}.
+        let expect = 1.0 - (-w * 49.0 * dt).exp();
+        assert!(close(y, expect, 1e-9), "{y} vs {expect}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let tf = TransferFunction::lowpass_biquad(Hertz(1000.0), 1.0, 1.0);
+        let mut dss = tf.to_state_space().discretize_zoh(1.0e-5);
+        for _ in 0..100 {
+            dss.step(1.0);
+        }
+        assert!(dss.state().iter().any(|&x| x != 0.0));
+        dss.reset();
+        assert!(dss.state().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn proper_rational_to_state_space_with_d_term() {
+        // H(s) = (1 + s)/(1 + s) = 1 → pure feedthrough.
+        let tf = TransferFunction::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        let mut dss = tf.to_state_space().discretize_zoh(1.0e-3);
+        for i in 0..10 {
+            let u = i as f64;
+            assert!(close(dss.step(u), u, 1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn improper_tf_rejected() {
+        let tf = TransferFunction::new(vec![0.0, 0.0, 1.0], vec![1.0, 1.0]);
+        let _ = tf.to_state_space();
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        let _ = TransferFunction::new(vec![1.0], vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Mixed-signal behavioral simulation substrate for `sc-netan`.
+//!
+//! The paper's network analyzer is a 0.35 µm CMOS chip; this crate provides
+//! the behavioral models that replace the silicon in the reproduction:
+//!
+//! * [`units`] — newtype wrappers for frequencies, times and voltages,
+//! * [`clock`] — master clock, the paper's 1:6 divider and two-phase
+//!   non-overlapping clocking,
+//! * [`opamp`] — block-level op-amp non-idealities (finite gain, GBW-limited
+//!   settling, slew rate, swing, offset, noise) modelling the
+//!   folded-cascode amplifier of paper Fig. 3,
+//! * [`sc`] — switched-capacitor integrator charge-transfer engine,
+//! * [`noise`] — seeded noise sources incl. `kT/C` sampling noise,
+//! * [`mismatch`] — capacitor mismatch / process-variation Monte Carlo,
+//! * [`ct`] — continuous-time LTI state-space simulation with exact
+//!   zero-order-hold discretization (matrix exponential) and s-domain
+//!   transfer-function evaluation, used for the active-RC DUT,
+//! * [`matrix`] — the small dense-matrix kernel backing [`ct`].
+//!
+//! # Example
+//!
+//! ```
+//! use mixsig::clock::MasterClock;
+//!
+//! // The paper's clocking: f_gen = f_eva/6, f_wave = f_eva/96.
+//! let clk = MasterClock::from_hz(6.0e6);
+//! assert_eq!(clk.divided(6).frequency_hz(), 1.0e6);
+//! assert_eq!(clk.divided(96).frequency_hz(), 62.5e3);
+//! ```
+
+pub mod clock;
+pub mod ct;
+pub mod matrix;
+pub mod mismatch;
+pub mod noise;
+pub mod opamp;
+pub mod sc;
+pub mod units;
+
+pub use clock::{ClockPhase, MasterClock, TwoPhaseClock};
+pub use ct::{StateSpace, TransferFunction};
+pub use matrix::Matrix;
+pub use mismatch::CapacitorLot;
+pub use noise::NoiseSource;
+pub use opamp::OpAmpModel;
+pub use sc::ScIntegrator;
+pub use units::{Hertz, Seconds, Volts};

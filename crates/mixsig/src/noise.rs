@@ -1,0 +1,156 @@
+//! Seeded noise sources for the behavioral models.
+//!
+//! Every stochastic effect in the reproduction is driven through
+//! [`NoiseSource`], a seeded Gaussian generator, so experiments are
+//! repeatable (the paper's Fig. 9 repeats each measurement 25 times — our
+//! harness does the same with 25 seeds).
+//!
+//! The dominant sampled-noise mechanism in SC circuits is `kT/C` noise:
+//! each sampling event freezes a noise charge with variance `kT/C` on the
+//! sampling capacitor.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+/// Default simulation temperature in kelvin (27 °C).
+pub const ROOM_TEMPERATURE_K: f64 = 300.15;
+
+/// RMS voltage of `kT/C` sampling noise for a capacitance in farads.
+///
+/// # Example
+///
+/// ```
+/// use mixsig::noise::ktc_noise_rms;
+/// // 1 pF ≈ 64 µV rms at room temperature.
+/// let v = ktc_noise_rms(1.0e-12);
+/// assert!((v - 64.4e-6).abs() < 1.0e-6);
+/// ```
+pub fn ktc_noise_rms(capacitance_farads: f64) -> f64 {
+    (BOLTZMANN * ROOM_TEMPERATURE_K / capacitance_farads).sqrt()
+}
+
+/// A seeded Gaussian noise source.
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    rng: StdRng,
+    enabled: bool,
+}
+
+impl NoiseSource {
+    /// Creates a noise source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            enabled: true,
+        }
+    }
+
+    /// A disabled source that always returns zero — the "ideal" mode.
+    pub fn disabled() -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(0),
+            enabled: false,
+        }
+    }
+
+    /// Whether the source produces nonzero samples.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// One zero-mean Gaussian sample with the given standard deviation.
+    pub fn gaussian(&mut self, sigma: f64) -> f64 {
+        if !self.enabled || sigma == 0.0 {
+            return 0.0;
+        }
+        sigma * self.standard_normal()
+    }
+
+    /// One `kT/C` noise voltage sample for a capacitance in farads.
+    pub fn ktc(&mut self, capacitance_farads: f64) -> f64 {
+        self.gaussian(ktc_noise_rms(capacitance_farads))
+    }
+
+    /// One sample of a white noise voltage of the given density (V/√Hz)
+    /// observed in a bandwidth of `bandwidth_hz`.
+    pub fn white(&mut self, density_v_rt_hz: f64, bandwidth_hz: f64) -> f64 {
+        self.gaussian(density_v_rt_hz * bandwidth_hz.sqrt())
+    }
+
+    /// Standard normal via Box–Muller (avoids a dependency on
+    /// `rand_distr`).
+    fn standard_normal(&mut self) -> f64 {
+        let uniform = rand::distributions::Uniform::new(f64::EPSILON, 1.0f64);
+        let u1: f64 = uniform.sample(&mut self.rng);
+        let u2: f64 = uniform.sample(&mut self.rng);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_source_is_silent() {
+        let mut n = NoiseSource::disabled();
+        for _ in 0..100 {
+            assert_eq!(n.gaussian(1.0), 0.0);
+            assert_eq!(n.ktc(1.0e-12), 0.0);
+        }
+        assert!(!n.is_enabled());
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = NoiseSource::new(42);
+        let mut b = NoiseSource::new(42);
+        for _ in 0..32 {
+            assert_eq!(a.gaussian(1.0), b.gaussian(1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseSource::new(1);
+        let mut b = NoiseSource::new(2);
+        let same = (0..16).filter(|_| a.gaussian(1.0) == b.gaussian(1.0)).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gaussian_statistics() {
+        let mut n = NoiseSource::new(7);
+        let count = 200_000;
+        let samples: Vec<f64> = (0..count).map(|_| n.gaussian(2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.02, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn ktc_scales_inverse_sqrt_c() {
+        let v1 = ktc_noise_rms(1.0e-12);
+        let v4 = ktc_noise_rms(4.0e-12);
+        assert!((v1 / v4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_scales_with_sqrt_bandwidth() {
+        let mut a = NoiseSource::new(3);
+        let mut b = NoiseSource::new(3);
+        let x = a.white(10e-9, 1.0e6);
+        let y = b.white(10e-9, 4.0e6);
+        assert!((y / x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sigma_is_zero() {
+        let mut n = NoiseSource::new(9);
+        assert_eq!(n.gaussian(0.0), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Switched-capacitor integrator charge-transfer engine.
+//!
+//! All SC blocks in the paper (the generator biquad of Fig. 2 and the ΣΔ
+//! integrator of Fig. 5) reduce to the same primitive: a parasitic-
+//! insensitive integrator with one or more switched input branches. Each
+//! clock cycle, branch `i` transfers charge `C_i·v_i` onto the integrating
+//! capacitor `C_F`:
+//!
+//! ```text
+//! v_out[n] = α·v_out[n−1] + μ·Σ_i (C_i/C_F)·v_i[n]
+//! ```
+//!
+//! where the leak `α` and gain factor `μ` come from the op-amp's finite DC
+//! gain, the per-cycle step is additionally limited by GBW/slew settling,
+//! each branch injects `kT/C` sampling noise, and the output saturates at
+//! the op-amp swing. With [`OpAmpModel::ideal`] and
+//! [`NoiseSource::disabled`] the engine is an exact discrete integrator.
+
+use crate::noise::NoiseSource;
+use crate::opamp::OpAmpModel;
+use crate::units::{Seconds, Volts};
+
+/// One switched input branch: a capacitor ratio and the voltage it samples
+/// this cycle (sign encodes the switching polarity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// Capacitor size as a ratio to the unit capacitor.
+    pub cap_ratio: f64,
+    /// Sampled voltage this cycle, volts (differential).
+    pub voltage: f64,
+}
+
+impl Branch {
+    /// Creates a branch.
+    pub const fn new(cap_ratio: f64, voltage: f64) -> Self {
+        Self { cap_ratio, voltage }
+    }
+}
+
+/// A parasitic-insensitive switched-capacitor integrator.
+#[derive(Debug, Clone)]
+pub struct ScIntegrator {
+    /// Integrating (feedback) capacitor, in unit-cap ratios.
+    cf: f64,
+    /// Physical size of the unit capacitor in farads (for `kT/C`).
+    unit_cap_farads: f64,
+    opamp: OpAmpModel,
+    settle_time: Seconds,
+    noise: NoiseSource,
+    vout: f64,
+}
+
+impl ScIntegrator {
+    /// Creates an integrator with integrating capacitor `cf` (unit ratios).
+    ///
+    /// `settle_time` is the half-clock-phase available for charge transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cf <= 0` or `unit_cap_farads <= 0`.
+    pub fn new(
+        cf: f64,
+        unit_cap_farads: f64,
+        opamp: OpAmpModel,
+        settle_time: Seconds,
+        noise: NoiseSource,
+    ) -> Self {
+        assert!(cf > 0.0, "integrating capacitor must be positive");
+        assert!(unit_cap_farads > 0.0, "unit capacitor must be positive");
+        Self {
+            cf,
+            unit_cap_farads,
+            opamp,
+            settle_time,
+            noise,
+            vout: 0.0,
+        }
+    }
+
+    /// An ideal, noiseless integrator — useful for functional tests.
+    pub fn ideal(cf: f64) -> Self {
+        Self::new(
+            cf,
+            1.0e-12,
+            OpAmpModel::ideal(),
+            Seconds(1.0),
+            NoiseSource::disabled(),
+        )
+    }
+
+    /// Current output voltage.
+    pub fn output(&self) -> f64 {
+        self.vout
+    }
+
+    /// Forces the output/state (e.g. a reset switch).
+    pub fn set_output(&mut self, v: f64) {
+        self.vout = v;
+    }
+
+    /// Resets the integrator state to zero.
+    pub fn reset(&mut self) {
+        self.vout = 0.0;
+    }
+
+    /// The op-amp model in use.
+    pub fn opamp(&self) -> &OpAmpModel {
+        &self.opamp
+    }
+
+    /// Advances one clock cycle with the given input branches; returns the
+    /// new output voltage.
+    pub fn step(&mut self, branches: &[Branch]) -> f64 {
+        let ct: f64 = branches.iter().map(|b| b.cap_ratio.abs()).sum();
+        let beta = self.cf / (self.cf + ct);
+        let a0 = self.opamp.dc_gain;
+
+        // Finite-gain leak: charge left behind on C_F each transfer.
+        let leak = 1.0 - ct / (self.cf * a0);
+        // Finite-gain static error on the transferred charge.
+        let mu = self.opamp.static_gain_factor(beta);
+
+        // Ideal charge transfer (in output volts), including the op-amp
+        // offset sampled by every branch.
+        let mut delta = 0.0;
+        for b in branches {
+            delta += b.cap_ratio / self.cf * (b.voltage + self.opamp.offset.value());
+            // kT/C noise of this branch, referred to the output.
+            let c_phys = b.cap_ratio.abs() * self.unit_cap_farads;
+            if c_phys > 0.0 {
+                delta += self.noise.ktc(c_phys) * (b.cap_ratio.abs() / self.cf);
+            }
+        }
+
+        // GBW / slew-limited settling of the step, with the output-level
+        // dependent gain compression (odd-order distortion source).
+        let compression = self.opamp.compression_factor(self.vout);
+        let achieved = self
+            .opamp
+            .settled_step(Volts(mu * compression * delta), beta, self.settle_time)
+            .value();
+
+        self.vout = self.opamp.clamp_output(Volts(leak * self.vout + achieved)).value();
+        self.vout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Hertz;
+
+    #[test]
+    fn ideal_integrator_accumulates_exactly() {
+        let mut int = ScIntegrator::ideal(2.0);
+        // Two branches: +1 unit cap at 1 V, each step adds 0.5 V.
+        for i in 1..=10 {
+            let v = int.step(&[Branch::new(1.0, 1.0)]);
+            assert!((v - 0.5 * i as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn branch_signs_subtract() {
+        let mut int = ScIntegrator::ideal(1.0);
+        let v = int.step(&[Branch::new(1.0, 1.0), Branch::new(-1.0, 1.0)]);
+        assert!(v.abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_gain_leaks() {
+        let opamp = OpAmpModel::ideal().with_dc_gain(100.0);
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            opamp,
+            Seconds(1.0),
+            NoiseSource::disabled(),
+        );
+        int.set_output(1.0);
+        // One step with a unit branch at 0 V: output decays by ct/(cf·A) = 1%.
+        let v = int.step(&[Branch::new(1.0, 0.0)]);
+        assert!((v - 0.99).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn finite_gain_reduces_step() {
+        let opamp = OpAmpModel::ideal().with_dc_gain(1000.0);
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            opamp,
+            Seconds(1.0),
+            NoiseSource::disabled(),
+        );
+        let v = int.step(&[Branch::new(1.0, 1.0)]);
+        let beta = 0.5;
+        let mu = 1.0 / (1.0 + 1.0 / (1000.0 * beta));
+        assert!((v - mu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_integrates() {
+        let opamp = OpAmpModel::ideal().with_offset(Volts(0.001));
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            opamp,
+            Seconds(1.0),
+            NoiseSource::disabled(),
+        );
+        let v = int.step(&[Branch::new(1.0, 0.0)]);
+        assert!((v - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swing_clamps_output() {
+        let mut opamp = OpAmpModel::ideal();
+        opamp.output_swing = Volts(1.0);
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            opamp,
+            Seconds(1.0),
+            NoiseSource::disabled(),
+        );
+        for _ in 0..10 {
+            int.step(&[Branch::new(1.0, 1.0)]);
+        }
+        assert_eq!(int.output(), 1.0);
+    }
+
+    #[test]
+    fn slow_opamp_undershoots() {
+        let opamp = OpAmpModel::ideal().with_gbw(Hertz::from_mhz(1.0));
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            opamp,
+            Seconds(50.0e-9), // 50 ns to settle with 1 MHz GBW: clearly incomplete
+            NoiseSource::disabled(),
+        );
+        let v = int.step(&[Branch::new(1.0, 1.0)]);
+        assert!(v < 0.25, "{v}");
+        assert!(v > 0.05, "{v}");
+    }
+
+    #[test]
+    fn noise_injects_ktc() {
+        let mut int = ScIntegrator::new(
+            1.0,
+            1.0e-15, // deliberately tiny cap → large kT/C (~2 mV rms)
+            OpAmpModel::ideal(),
+            Seconds(1.0),
+            NoiseSource::new(21),
+        );
+        let n = 10_000;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            int.reset();
+            values.push(int.step(&[Branch::new(1.0, 0.0)]));
+        }
+        let sigma = {
+            let m = values.iter().sum::<f64>() / n as f64;
+            (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64).sqrt()
+        };
+        let expect = crate::noise::ktc_noise_rms(1.0e-15);
+        assert!((sigma / expect - 1.0).abs() < 0.1, "{sigma} vs {expect}");
+    }
+
+    #[test]
+    fn reset_and_set_output() {
+        let mut int = ScIntegrator::ideal(1.0);
+        int.set_output(0.7);
+        assert_eq!(int.output(), 0.7);
+        int.reset();
+        assert_eq!(int.output(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cf_rejected() {
+        let _ = ScIntegrator::ideal(0.0);
+    }
+}

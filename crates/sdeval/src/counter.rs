@@ -1,0 +1,87 @@
+//! The signature counters (paper Fig. 4a, "set of counters").
+//!
+//! The only digital hardware the evaluator needs on the acquisition side is
+//! an up/down counter per bitstream: the signature is the plain sum of the
+//! ±1 bits over the evaluation window, `I = Σ d`.
+
+/// An up/down counter accumulating a ΣΔ bitstream into a signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SignatureCounter {
+    sum: i64,
+    samples: u64,
+}
+
+impl SignatureCounter {
+    /// A cleared counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one bit (`true` = +1, `false` = −1).
+    pub fn push(&mut self, bit: bool) {
+        self.sum += if bit { 1 } else { -1 };
+        self.samples += 1;
+    }
+
+    /// The signature `I = Σ d`.
+    pub fn signature(&self) -> i64 {
+        self.sum
+    }
+
+    /// Number of bits accumulated.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Clears the counter.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl Extend<bool> for SignatureCounter {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_up_and_down() {
+        let mut c = SignatureCounter::new();
+        c.push(true);
+        c.push(true);
+        c.push(false);
+        assert_eq!(c.signature(), 1);
+        assert_eq!(c.samples(), 3);
+    }
+
+    #[test]
+    fn balanced_stream_sums_to_zero() {
+        let mut c = SignatureCounter::new();
+        c.extend((0..1000).map(|i| i % 2 == 0));
+        assert_eq!(c.signature(), 0);
+        assert_eq!(c.samples(), 1000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = SignatureCounter::new();
+        c.push(true);
+        c.clear();
+        assert_eq!(c.signature(), 0);
+        assert_eq!(c.samples(), 0);
+    }
+
+    #[test]
+    fn signature_bounds() {
+        let mut c = SignatureCounter::new();
+        c.extend(std::iter::repeat_n(true, 500));
+        assert_eq!(c.signature(), 500);
+    }
+}

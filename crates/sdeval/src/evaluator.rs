@@ -1,0 +1,507 @@
+//! The complete sinewave evaluator: acquisition orchestration + DSP.
+//!
+//! [`SinewaveEvaluator::measure_harmonic`] drives the two matched ΣΔ
+//! modulators with the quadrature square waves for harmonic `k`, integrates
+//! the bitstreams over `M` periods, and converts the signatures into
+//! amplitude/phase enclosures (paper eq. 4–5).
+//!
+//! ## Offset cancellation ("basic arithmetic operations")
+//!
+//! In chopped mode (the default) every measurement is acquired twice with
+//! the modulating square waves inverted; the halved signature difference
+//! `(I⁺ − I⁻)/2` cancels the modulator offset exactly while preserving the
+//! `ε ∈ [−4, 4]` bound. This realizes the paper's statement that the
+//! signatures "are processed using basic arithmetic operations in the
+//! digital domain to cancel the offset contribution of the modulators".
+
+use crate::modulator::{SdmConfig, SigmaDeltaModulator};
+use crate::signature::{
+    amplitude_from_signatures, dc_from_signature, phase_from_signatures, Bounded, SignaturePair,
+};
+use crate::squarewave::{QuadratureSquareWave, SquareWaveError};
+
+/// Errors from an evaluator measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// `M` must be a positive even number of periods (paper Section III.B).
+    OddPeriods {
+        /// The requested period count.
+        m: u32,
+    },
+    /// `N` must be a positive multiple of `8k`.
+    InvalidRatio {
+        /// Oversampling ratio.
+        n: u32,
+        /// Harmonic index.
+        k: u32,
+    },
+    /// Harmonic measurements need `k ≥ 1`; use
+    /// [`SinewaveEvaluator::measure_dc`] for `k = 0`.
+    HarmonicIndexZero,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::OddPeriods { m } => {
+                write!(f, "evaluation periods must be positive and even, got {m}")
+            }
+            EvalError::InvalidRatio { n, k } => {
+                write!(f, "oversampling ratio {n} is not a multiple of 8k = {}", 8 * k)
+            }
+            EvalError::HarmonicIndexZero => {
+                write!(f, "harmonic index must be at least 1; use measure_dc for DC")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SquareWaveError> for EvalError {
+    fn from(e: SquareWaveError) -> Self {
+        match e {
+            SquareWaveError::InvalidRatio { n, k } => EvalError::InvalidRatio { n, k },
+        }
+    }
+}
+
+/// Configuration of the sinewave evaluator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatorConfig {
+    /// Oversampling ratio `N = f_eva/f_wave` (96 by construction in the
+    /// paper's analyzer; exposed for ablation studies).
+    pub n: u32,
+    /// Configuration shared by the two matched modulators.
+    pub sdm: SdmConfig,
+    /// Whether offset-cancelling chopped acquisition is used.
+    pub chopped: bool,
+}
+
+impl EvaluatorConfig {
+    /// Ideal evaluator at the paper's `N = 96`.
+    pub fn ideal() -> Self {
+        Self {
+            n: 96,
+            sdm: SdmConfig::ideal(),
+            chopped: true,
+        }
+    }
+
+    /// Evaluator with the paper's 0.35 µm non-idealities.
+    pub fn cmos_035um(seed: u64) -> Self {
+        Self {
+            n: 96,
+            sdm: SdmConfig::cmos_035um(seed),
+            chopped: true,
+        }
+    }
+
+    /// Returns the configuration with a different oversampling ratio.
+    #[must_use]
+    pub fn with_n(mut self, n: u32) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Returns the configuration with chopping enabled or disabled.
+    #[must_use]
+    pub fn with_chopped(mut self, chopped: bool) -> Self {
+        self.chopped = chopped;
+        self
+    }
+}
+
+impl Default for EvaluatorConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Result of a harmonic measurement (paper eq. 4–5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarmonicMeasurement {
+    /// Harmonic index `k`.
+    pub k: u32,
+    /// Amplitude enclosure, volts peak.
+    pub amplitude: Bounded,
+    /// Phase enclosure relative to `SQ_kT(t)`, radians.
+    pub phase: Bounded,
+    /// The underlying signatures.
+    pub signatures: SignaturePair,
+    /// Total master-clock samples consumed (both chop phases included).
+    pub samples_consumed: u64,
+}
+
+/// Result of a DC measurement (paper eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcMeasurement {
+    /// DC level enclosure, volts.
+    pub level: Bounded,
+    /// The underlying signature.
+    pub signature: f64,
+    /// Total master-clock samples consumed.
+    pub samples_consumed: u64,
+}
+
+/// The sinewave evaluator: two matched ΣΔ modulators + counters + DSP.
+#[derive(Debug, Clone)]
+pub struct SinewaveEvaluator {
+    config: EvaluatorConfig,
+    mod_i: SigmaDeltaModulator,
+    mod_q: SigmaDeltaModulator,
+}
+
+impl SinewaveEvaluator {
+    /// Builds the evaluator; the two modulators are matched (identical
+    /// configuration) but carry independent noise streams.
+    pub fn new(config: EvaluatorConfig) -> Self {
+        let mut cfg_i = config.sdm.clone();
+        let mut cfg_q = config.sdm.clone();
+        cfg_i.seed = config.sdm.seed.wrapping_mul(2).wrapping_add(1);
+        cfg_q.seed = config.sdm.seed.wrapping_mul(2).wrapping_add(2);
+        Self {
+            mod_i: SigmaDeltaModulator::new(cfg_i),
+            mod_q: SigmaDeltaModulator::new(cfg_q),
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EvaluatorConfig {
+        &self.config
+    }
+
+    /// Measures harmonic `k ≥ 1` of the signal produced by `source`
+    /// (one sample per call at the master-clock rate) over `m` periods
+    /// (per chop phase when chopping is enabled).
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::HarmonicIndexZero`] if `k == 0`,
+    /// * [`EvalError::OddPeriods`] if `m` is zero or odd,
+    /// * [`EvalError::InvalidRatio`] if `N` is not a multiple of `8k`.
+    pub fn measure_harmonic(
+        &mut self,
+        source: &mut dyn FnMut() -> f64,
+        k: u32,
+        m: u32,
+    ) -> Result<HarmonicMeasurement, EvalError> {
+        if k == 0 {
+            return Err(EvalError::HarmonicIndexZero);
+        }
+        if m == 0 || !m.is_multiple_of(2) {
+            return Err(EvalError::OddPeriods { m });
+        }
+        let sq = QuadratureSquareWave::new(k, self.config.n)?;
+        let (i1, i2, consumed) = self.acquire(source, sq, m);
+        let pair = SignaturePair {
+            i1,
+            i2,
+            m,
+            n: self.config.n,
+            k,
+        };
+        let c = sq.fundamental_coefficient();
+        let vref = self.config.sdm.vref.value();
+        Ok(HarmonicMeasurement {
+            k,
+            amplitude: amplitude_from_signatures(&pair, vref, c),
+            phase: phase_from_signatures(&pair, c),
+            signatures: pair,
+            samples_consumed: consumed,
+        })
+    }
+
+    /// Measures the DC level `B` (paper eq. 3) over `m` periods per chop
+    /// phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::OddPeriods`] if `m` is zero or odd.
+    pub fn measure_dc(
+        &mut self,
+        source: &mut dyn FnMut() -> f64,
+        m: u32,
+    ) -> Result<DcMeasurement, EvalError> {
+        if m == 0 || !m.is_multiple_of(2) {
+            return Err(EvalError::OddPeriods { m });
+        }
+        let sq = QuadratureSquareWave::new(0, self.config.n).expect("k = 0 is always valid");
+        let (i1, _, consumed) = self.acquire(source, sq, m);
+        let vref = self.config.sdm.vref.value();
+        Ok(DcMeasurement {
+            level: dc_from_signature(i1, m, self.config.n, vref),
+            signature: i1,
+            samples_consumed: consumed,
+        })
+    }
+
+    /// Measures several harmonics back to back from a continuing source
+    /// (each window is an integer number of periods, so coherence is
+    /// preserved across measurements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`measure_harmonic`](Self::measure_harmonic).
+    pub fn measure_harmonics(
+        &mut self,
+        source: &mut dyn FnMut() -> f64,
+        harmonics: &[u32],
+        m: u32,
+    ) -> Result<Vec<HarmonicMeasurement>, EvalError> {
+        harmonics
+            .iter()
+            .map(|&k| self.measure_harmonic(source, k, m))
+            .collect()
+    }
+
+    /// Runs one (or two, when chopping) acquisition windows; returns the
+    /// processed signatures and samples consumed.
+    fn acquire(
+        &mut self,
+        source: &mut dyn FnMut() -> f64,
+        sq: QuadratureSquareWave,
+        m: u32,
+    ) -> (f64, f64, u64) {
+        let window = m as u64 * self.config.n as u64;
+        let run = |this: &mut Self, invert: bool, src: &mut dyn FnMut() -> f64| {
+            let mut i1 = 0i64;
+            let mut i2 = 0i64;
+            for t in 0..window {
+                let x = src();
+                let q1 = (sq.in_phase(t) > 0) ^ invert;
+                let q2 = (sq.quadrature(t) > 0) ^ invert;
+                i1 += if this.mod_i.step(x, q1) { 1 } else { -1 };
+                i2 += if this.mod_q.step(x, q2) { 1 } else { -1 };
+            }
+            (i1, i2)
+        };
+        if self.config.chopped {
+            let (a1, a2) = run(self, false, source);
+            let (b1, b2) = run(self, true, source);
+            (
+                (a1 - b1) as f64 / 2.0,
+                (a2 - b2) as f64 / 2.0,
+                2 * window,
+            )
+        } else {
+            let (a1, a2) = run(self, false, source);
+            (a1 as f64, a2 as f64, window)
+        }
+    }
+}
+
+/// Convenience: a source that replays a slice cyclically.
+pub fn cyclic_source(data: &[f64]) -> impl FnMut() -> f64 + '_ {
+    let mut i = 0usize;
+    move || {
+        let v = data[i % data.len()];
+        i += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::tone::{Multitone, Tone};
+    use mixsig::opamp::OpAmpModel;
+    use mixsig::units::Volts;
+    use std::f64::consts::PI;
+
+    fn tone_source(f: f64, a: f64, phi: f64) -> impl FnMut() -> f64 {
+        let t = Tone::new(f, a, phi);
+        let mut n = 0usize;
+        move || {
+            let v = t.sample(n);
+            n += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn amplitude_recovery_ideal() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        for &(a, phi) in &[(0.2, 0.0), (0.5, 1.0), (0.02, -0.7)] {
+            let mut src = tone_source(1.0 / 96.0, a, phi);
+            let m = ev.measure_harmonic(&mut src, 1, 200).unwrap();
+            assert!(
+                (m.amplitude.est - a).abs() < 2e-3,
+                "a={a}: {}",
+                m.amplitude.est
+            );
+            assert!(m.amplitude.contains(a), "a={a}: {}", m.amplitude);
+        }
+    }
+
+    #[test]
+    fn phase_recovery_ideal() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        for &phi in &[0.0, 0.5, 1.5, -2.0, 3.0] {
+            let mut src = tone_source(1.0 / 96.0, 0.5, phi);
+            let m = ev.measure_harmonic(&mut src, 1, 200).unwrap();
+            let err = dsp::goertzel::wrap_phase(m.phase.est - phi).abs();
+            assert!(err < 0.02, "φ={phi}: est {} err {err}", m.phase.est);
+        }
+    }
+
+    #[test]
+    fn multitone_separation_matches_paper_fig9_levels() {
+        // The Fig. 9 workload: 0.2/0.02/0.002 V at harmonics 1/2/3.
+        let f0 = 1.0 / 96.0;
+        let mt = Multitone::new(0.0)
+            .with_tone(Tone::new(f0, 0.2, 0.3))
+            .with_tone(Tone::new(2.0 * f0, 0.02, 1.0))
+            .with_tone(Tone::new(3.0 * f0, 0.002, -0.5));
+        let mut n = 0usize;
+        let mut src = move || {
+            let v = mt.sample(n);
+            n += 1;
+            v
+        };
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let ms = ev.measure_harmonics(&mut src, &[1, 2, 3], 500).unwrap();
+        assert!((ms[0].amplitude.est - 0.2).abs() < 2e-3, "{}", ms[0].amplitude);
+        assert!((ms[1].amplitude.est - 0.02).abs() < 1e-3, "{}", ms[1].amplitude);
+        assert!((ms[2].amplitude.est - 0.002).abs() < 6e-4, "{}", ms[2].amplitude);
+    }
+
+    #[test]
+    fn enclosure_always_contains_truth_ideal() {
+        // The hard-bound property: for an ideal (noiseless) chain the
+        // enclosure must contain the true amplitude at every M.
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        for m in [2u32, 10, 20, 100, 400] {
+            let mut src = tone_source(1.0 / 96.0, 0.3, 0.9);
+            let meas = ev.measure_harmonic(&mut src, 1, m).unwrap();
+            assert!(
+                meas.amplitude.contains(0.3),
+                "M={m}: {}",
+                meas.amplitude
+            );
+        }
+    }
+
+    #[test]
+    fn bound_width_shrinks_as_one_over_mn() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = tone_source(1.0 / 96.0, 0.3, 0.0);
+        let w20 = ev.measure_harmonic(&mut src, 1, 20).unwrap().amplitude.width();
+        let w200 = ev
+            .measure_harmonic(&mut src, 1, 200)
+            .unwrap()
+            .amplitude
+            .width();
+        assert!((w20 / w200 - 10.0).abs() < 1.0, "{w20} / {w200}");
+    }
+
+    #[test]
+    fn second_harmonic_measured_independently() {
+        let f0 = 1.0 / 96.0;
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = tone_source(2.0 * f0, 0.1, 0.4);
+        let m1 = ev.measure_harmonic(&mut src, 1, 100).unwrap();
+        let mut src2 = tone_source(2.0 * f0, 0.1, 0.4);
+        let m2 = ev.measure_harmonic(&mut src2, 2, 100).unwrap();
+        // k=2 sees the tone; k=1 sees (almost) nothing.
+        assert!((m2.amplitude.est - 0.1).abs() < 2e-3);
+        assert!(m1.amplitude.est < 0.01, "{}", m1.amplitude.est);
+    }
+
+    #[test]
+    fn dc_measurement_recovers_level() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = || 0.35;
+        let d = ev.measure_dc(&mut src, 100).unwrap();
+        assert!((d.level.est - 0.35).abs() < 1e-3, "{}", d.level);
+        assert!(d.level.contains(0.35));
+    }
+
+    #[test]
+    fn chopping_cancels_modulator_offset() {
+        let mut sdm = SdmConfig::ideal();
+        sdm.opamp = OpAmpModel::ideal().with_offset(Volts(0.01));
+        let cfg = EvaluatorConfig {
+            n: 96,
+            sdm,
+            chopped: true,
+        };
+        let mut ev = SinewaveEvaluator::new(cfg.clone());
+        let mut src = tone_source(1.0 / 96.0, 0.2, 0.5);
+        let m = ev.measure_harmonic(&mut src, 1, 200).unwrap();
+        assert!(
+            (m.amplitude.est - 0.2).abs() < 2e-3,
+            "chopped: {}",
+            m.amplitude.est
+        );
+
+        // Without chopping, the 20 mV effective offset corrupts the
+        // in-phase signature noticeably.
+        let mut ev_raw = SinewaveEvaluator::new(cfg.with_chopped(false));
+        let mut src2 = tone_source(1.0 / 96.0, 0.2, 0.5);
+        let m_raw = ev_raw.measure_harmonic(&mut src2, 1, 200).unwrap();
+        let err_raw = (m_raw.amplitude.est - 0.2).abs();
+        assert!(err_raw > 5e-3, "raw error unexpectedly small: {err_raw}");
+    }
+
+    #[test]
+    fn validity_conditions_enforced() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = || 0.0;
+        assert_eq!(
+            ev.measure_harmonic(&mut src, 0, 10),
+            Err(EvalError::HarmonicIndexZero)
+        );
+        assert_eq!(
+            ev.measure_harmonic(&mut src, 1, 3),
+            Err(EvalError::OddPeriods { m: 3 })
+        );
+        assert_eq!(
+            ev.measure_harmonic(&mut src, 5, 10),
+            Err(EvalError::InvalidRatio { n: 96, k: 5 })
+        );
+        assert_eq!(
+            ev.measure_dc(&mut src, 0),
+            Err(EvalError::OddPeriods { m: 0 })
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(EvalError::OddPeriods { m: 3 }.to_string().contains("even"));
+        assert!(EvalError::InvalidRatio { n: 96, k: 5 }
+            .to_string()
+            .contains("multiple of 8k"));
+        assert!(EvalError::HarmonicIndexZero.to_string().contains("measure_dc"));
+    }
+
+    #[test]
+    fn phase_measures_relative_to_square_wave() {
+        // A sine aligned with SQ (φ=0 at window start) reads ≈ 0 phase; a
+        // quarter-period shift reads ≈ π/2.
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src0 = tone_source(1.0 / 96.0, 0.4, 0.0);
+        let p0 = ev.measure_harmonic(&mut src0, 1, 200).unwrap().phase.est;
+        let mut src90 = tone_source(1.0 / 96.0, 0.4, PI / 2.0);
+        let p90 = ev.measure_harmonic(&mut src90, 1, 200).unwrap().phase.est;
+        assert!(p0.abs() < 0.02, "{p0}");
+        assert!((p90 - PI / 2.0).abs() < 0.02, "{p90}");
+    }
+
+    #[test]
+    fn noisy_cmos_evaluator_still_accurate() {
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::cmos_035um(5));
+        let mut src = tone_source(1.0 / 96.0, 0.2, 0.3);
+        let m = ev.measure_harmonic(&mut src, 1, 400).unwrap();
+        assert!((m.amplitude.est - 0.2).abs() < 5e-3, "{}", m.amplitude.est);
+    }
+
+    #[test]
+    fn cyclic_source_replays() {
+        let data = [1.0, 2.0, 3.0];
+        let mut src = cyclic_source(&data);
+        let got: Vec<f64> = (0..7).map(|_| src()).collect();
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+    }
+}

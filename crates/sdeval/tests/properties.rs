@@ -1,0 +1,68 @@
+//! Property-based invariants of the evaluator chain.
+
+use proptest::prelude::*;
+use sdeval::{QuadratureSquareWave, SdmConfig, SigmaDeltaModulator};
+use std::f64::consts::PI;
+
+/// Valid (k, N) pairs for the square-wave condition `8k | N`.
+fn valid_kn() -> impl Strategy<Value = (u32, u32)> {
+    (1u32..=6, 1u32..=8).prop_map(|(k, mult)| (k, 8 * k * mult))
+}
+
+proptest! {
+    /// The in-phase wave always has a 50 % duty cycle over one stimulus
+    /// period, for every valid (k, N).
+    #[test]
+    fn square_wave_balanced((k, n) in valid_kn()) {
+        let sq = QuadratureSquareWave::new(k, n).unwrap();
+        let plus = (0..n as u64).filter(|&s| sq.in_phase(s) == 1).count();
+        prop_assert_eq!(plus as u32, n / 2);
+    }
+
+    /// Quadrature is exactly the in-phase wave delayed by N/(4k) samples.
+    #[test]
+    fn quadrature_delay_identity((k, n) in valid_kn(), offset in 0u64..512) {
+        let sq = QuadratureSquareWave::new(k, n).unwrap();
+        let delay = (n / (4 * k)) as u64;
+        prop_assert_eq!(sq.quadrature(offset + delay), sq.in_phase(offset));
+    }
+
+    /// The discrete fundamental coefficient magnitude is within the
+    /// analytic closed form 2/(P·sin(π/P)) per wave period P = N/k.
+    #[test]
+    fn fundamental_coefficient_closed_form((k, n) in valid_kn()) {
+        let sq = QuadratureSquareWave::new(k, n).unwrap();
+        let p = (n / k) as f64;
+        let expect = 2.0 / (p * (PI / p).sin());
+        prop_assert!((sq.fundamental_coefficient().abs() - expect).abs() < 1e-9);
+    }
+
+    /// The ΣΔ telescoping identity: |Σd − Σx/Vref| ≤ 4 for any bounded
+    /// input sequence — the paper's ε bound, input-shape independent.
+    #[test]
+    fn epsilon_bound_holds_for_arbitrary_inputs(
+        samples in proptest::collection::vec(-0.8f64..0.8, 500),
+    ) {
+        let mut m = SigmaDeltaModulator::new(SdmConfig::ideal());
+        let mut sum_d = 0.0;
+        let mut sum_x = 0.0;
+        for &x in &samples {
+            sum_x += x;
+            sum_d += if m.step(x, true) { 1.0 } else { -1.0 };
+            prop_assert!((sum_d - sum_x).abs() <= 4.0);
+        }
+    }
+
+    /// Bitstream mean tracks the DC input for any level in range and any
+    /// vref scaling.
+    #[test]
+    fn dc_code_tracks_input(x_rel in -0.8f64..0.8, vref in 0.5f64..2.0) {
+        let cfg = SdmConfig::ideal().with_vref(mixsig::units::Volts(vref));
+        let mut m = SigmaDeltaModulator::new(cfg);
+        let x = x_rel * vref;
+        let n = 30_000;
+        let sum: i64 = (0..n).map(|_| if m.step(x, true) { 1i64 } else { -1 }).sum();
+        let mean = sum as f64 / n as f64;
+        prop_assert!((mean - x_rel).abs() < 3e-3, "x/vref={x_rel}: {mean}");
+    }
+}

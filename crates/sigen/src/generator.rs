@@ -1,0 +1,300 @@
+//! The complete sinewave generator: sequencer + capacitor array + biquad.
+
+use crate::array::CapacitorArray;
+use crate::biquad::GeneratorBiquad;
+use crate::sequencer::{StepSequencer, TRANSFERS_PER_PERIOD};
+use mixsig::clock::{MasterClock, OVERSAMPLING_RATIO};
+use mixsig::mismatch::MatchingSpec;
+use mixsig::noise::NoiseSource;
+use mixsig::opamp::OpAmpModel;
+use mixsig::units::{Hertz, Seconds, Volts};
+
+/// Number of master-clock samples for which each biquad output is held
+/// (`f_eva / (2·f_gen) = 3`).
+pub const HOLD_SAMPLES: usize = OVERSAMPLING_RATIO as usize / TRANSFERS_PER_PERIOD;
+
+/// Configuration of a [`SinewaveGenerator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// The external master clock at `f_eva`.
+    pub master_clock: MasterClock,
+    /// Programmed amplitude reference `VA+ − VA−` (paper Fig. 2a DC input).
+    pub va_diff: Volts,
+    /// Op-amp model shared by both integrators (paper reuses one amplifier).
+    pub opamp: OpAmpModel,
+    /// Capacitor matching quality.
+    pub matching: MatchingSpec,
+    /// Physical unit capacitor for `kT/C` noise scaling, farads.
+    pub unit_cap_farads: f64,
+    /// Seed for mismatch fabrication and noise streams.
+    pub seed: u64,
+    /// Whether stochastic noise is injected.
+    pub noise: bool,
+}
+
+impl GeneratorConfig {
+    /// Ideal generator: exact capacitors, ideal op-amp, no noise.
+    pub fn ideal(master_clock: MasterClock, va_diff: Volts) -> Self {
+        Self {
+            master_clock,
+            va_diff,
+            opamp: OpAmpModel::ideal(),
+            matching: MatchingSpec::ideal(),
+            unit_cap_farads: 1.0e-12,
+            seed: 0,
+            noise: false,
+        }
+    }
+
+    /// Generator with non-idealities representative of the paper's 0.35 µm
+    /// prototype: folded-cascode op-amp, typical poly-poly matching, 1 pF
+    /// unit capacitor, `kT/C` noise on.
+    pub fn cmos_035um(master_clock: MasterClock, va_diff: Volts, seed: u64) -> Self {
+        Self {
+            master_clock,
+            va_diff,
+            opamp: OpAmpModel::folded_cascode_035um(),
+            matching: MatchingSpec::typical_035um(),
+            unit_cap_farads: 1.0e-12,
+            seed,
+            noise: true,
+        }
+    }
+
+    /// Returns the configuration with a different amplitude reference.
+    #[must_use]
+    pub fn with_va_diff(mut self, va_diff: Volts) -> Self {
+        self.va_diff = va_diff;
+        self
+    }
+
+    /// Time available per charge transfer (half a generator-clock phase).
+    pub fn settle_time(&self) -> Seconds {
+        // The biquad transfers at 2·f_gen = f_eva/3; allow 80 % of the
+        // transfer slot for settling (the rest covers non-overlap).
+        Seconds(0.8 * 3.0 / self.master_clock.frequency_hz() / 2.0)
+    }
+}
+
+/// The paper's SC sinewave generator.
+///
+/// Produces its output as a zero-order-held waveform sampled at the master
+/// clock `f_eva` (96 samples per stimulus period), which is exactly how the
+/// evaluator sees it.
+#[derive(Debug, Clone)]
+pub struct SinewaveGenerator {
+    config: GeneratorConfig,
+    array: CapacitorArray,
+    biquad: GeneratorBiquad,
+    sequencer: StepSequencer,
+    held: f64,
+    hold_phase: usize,
+}
+
+impl SinewaveGenerator {
+    /// Builds the generator from its configuration (fabricating the
+    /// capacitors when the config requests mismatch).
+    pub fn new(config: GeneratorConfig) -> Self {
+        let mut fab_noise = if config.noise || config.matching != MatchingSpec::ideal() {
+            NoiseSource::new(config.seed)
+        } else {
+            NoiseSource::disabled()
+        };
+        let array = CapacitorArray::fabricate(config.matching, &mut fab_noise);
+        let biquad = if config.opamp == OpAmpModel::ideal()
+            && config.matching == MatchingSpec::ideal()
+            && !config.noise
+        {
+            GeneratorBiquad::ideal()
+        } else {
+            let mut circuit_noise = if config.noise {
+                NoiseSource::new(config.seed.wrapping_add(0x5EED))
+            } else {
+                NoiseSource::disabled()
+            };
+            GeneratorBiquad::fabricate(
+                config.matching,
+                config.opamp,
+                config.settle_time(),
+                config.unit_cap_farads,
+                &mut circuit_noise,
+            )
+        };
+        Self {
+            config,
+            array,
+            biquad,
+            sequencer: StepSequencer::new(),
+            held: 0.0,
+            hold_phase: 0,
+        }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// The fabricated input capacitor array.
+    pub fn array(&self) -> &CapacitorArray {
+        &self.array
+    }
+
+    /// Generated stimulus frequency `f_wave = f_eva/96`.
+    pub fn stimulus_frequency(&self) -> Hertz {
+        self.config.master_clock.stimulus_frequency()
+    }
+
+    /// Expected output amplitude: `VA·2·|H(f_wave)|` (≈ `1.93·VA`).
+    pub fn expected_amplitude(&self) -> Volts {
+        Volts(self.config.va_diff.value() * GeneratorBiquad::amplitude_gain() / 2.0 * 2.0)
+        // kept explicit: staircase fundamental 2·VA times |H|, folded into
+        // `amplitude_gain()` which already includes the factor 2.
+    }
+
+    /// Advances one biquad charge transfer (rate `2·f_gen = f_eva/3`).
+    pub fn next_transfer(&mut self) -> f64 {
+        let j = self.sequencer.tick_half();
+        let w = self.array.step_weight(j);
+        self.biquad.transfer(w, self.config.va_diff.value())
+    }
+
+    /// Next output sample at the master-clock rate `f_eva` (each biquad
+    /// output held for [`HOLD_SAMPLES`] samples).
+    pub fn next_sample(&mut self) -> f64 {
+        if self.hold_phase == 0 {
+            self.held = self.next_transfer();
+        }
+        self.hold_phase = (self.hold_phase + 1) % HOLD_SAMPLES;
+        self.held
+    }
+
+    /// Generates `n` samples at `f_eva`.
+    pub fn waveform_at_feva(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+
+    /// Runs the generator until the start-up transient has decayed
+    /// (`periods` stimulus periods, ≥ ~10 recommended for Q ≈ 2.5).
+    pub fn settle(&mut self, periods: usize) {
+        for _ in 0..periods * OVERSAMPLING_RATIO as usize {
+            self.next_sample();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsp::goertzel::tone_amplitude_phase;
+    use mixsig::clock::MasterClock;
+
+    fn ideal_gen(va: f64) -> SinewaveGenerator {
+        SinewaveGenerator::new(GeneratorConfig::ideal(
+            MasterClock::from_hz(6.0e6),
+            Volts(va),
+        ))
+    }
+
+    #[test]
+    fn output_period_is_96_samples() {
+        let mut gen = ideal_gen(0.15);
+        gen.settle(30);
+        let w = gen.waveform_at_feva(96 * 4);
+        // One period later the waveform repeats.
+        for i in 0..96 {
+            assert!((w[i] - w[i + 96]).abs() < 1e-6, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn amplitude_tracks_va_ratio() {
+        // Paper Fig. 8a: VA = 150/250/300 mV → 300/500/600 mV outputs.
+        let mut amps = Vec::new();
+        for va in [0.150, 0.250, 0.300] {
+            let mut gen = ideal_gen(va);
+            gen.settle(40);
+            let w = gen.waveform_at_feva(96 * 16);
+            let (a, _) = tone_amplitude_phase(&w, 1.0 / 96.0);
+            amps.push(a);
+        }
+        assert!((amps[1] / amps[0] - 250.0 / 150.0).abs() < 1e-6);
+        assert!((amps[2] / amps[0] - 2.0).abs() < 1e-6);
+        // Absolute level ≈ 2·VA (paper's measured scaling).
+        assert!((amps[0] - 0.300).abs() < 0.02, "{}", amps[0]);
+        assert!((amps[2] - 0.600).abs() < 0.04, "{}", amps[2]);
+    }
+
+    #[test]
+    fn fundamental_lands_at_feva_over_96() {
+        let mut gen = ideal_gen(0.2);
+        gen.settle(40);
+        let w = gen.waveform_at_feva(96 * 32);
+        let (a_fund, _) = tone_amplitude_phase(&w, 1.0 / 96.0);
+        // Energy at a coherent but non-harmonic probe (43 cycles in the
+        // 32-period record — not a multiple of 32) should be tiny.
+        let (a_off, _) = tone_amplitude_phase(&w, 43.0 / (96.0 * 32.0));
+        assert!(a_fund > 0.3);
+        assert!(a_off < a_fund / 1e3);
+    }
+
+    #[test]
+    fn ideal_generator_harmonics_are_low() {
+        // With exact capacitors the only in-band residue is the biquad's
+        // filtered image content; harmonics 2..5 must sit far below the
+        // fundamental.
+        let mut gen = ideal_gen(0.25);
+        gen.settle(60);
+        let w = gen.waveform_at_feva(96 * 64);
+        let (a1, _) = tone_amplitude_phase(&w, 1.0 / 96.0);
+        for k in 2..=5usize {
+            let (ak, _) = tone_amplitude_phase(&w, k as f64 / 96.0);
+            let dbc = 20.0 * (ak / a1).log10();
+            assert!(dbc < -80.0, "H{k} at {dbc} dBc");
+        }
+    }
+
+    #[test]
+    fn stimulus_frequency_follows_master_clock() {
+        let gen = SinewaveGenerator::new(GeneratorConfig::ideal(
+            MasterClock::from_hz(1.92e6),
+            Volts(0.1),
+        ));
+        assert_eq!(gen.stimulus_frequency().value(), 20_000.0);
+    }
+
+    #[test]
+    fn expected_amplitude_close_to_twice_va() {
+        let gen = ideal_gen(0.15);
+        let a = gen.expected_amplitude().value();
+        assert!((a - 0.30).abs() < 0.02, "{a}");
+    }
+
+    #[test]
+    fn mismatched_generator_is_reproducible() {
+        let clk = MasterClock::from_hz(6.0e6);
+        let mk = || {
+            let mut g = SinewaveGenerator::new(GeneratorConfig::cmos_035um(
+                clk,
+                Volts(0.25),
+                7,
+            ));
+            g.settle(10);
+            g.waveform_at_feva(96)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn nonideal_generator_still_produces_sine() {
+        let mut gen = SinewaveGenerator::new(GeneratorConfig::cmos_035um(
+            MasterClock::from_hz(6.0e6),
+            Volts(0.25),
+            3,
+        ));
+        gen.settle(40);
+        let w = gen.waveform_at_feva(96 * 32);
+        let (a1, _) = tone_amplitude_phase(&w, 1.0 / 96.0);
+        assert!((a1 - 0.5).abs() < 0.05, "fundamental {a1}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests across crate boundaries: the guarantees the
+//! signature DSP makes must hold for *arbitrary* inputs, not just the
+//! hand-picked ones.
+
+use dsp::tone::{Multitone, Tone};
+use proptest::prelude::*;
+use sdeval::{EvaluatorConfig, SinewaveEvaluator};
+
+fn source_of(mt: Multitone) -> impl FnMut() -> f64 {
+    let mut n = 0usize;
+    move || {
+        let v = mt.sample(n);
+        n += 1;
+        v
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full evaluator acquisition
+        ..ProptestConfig::default()
+    })]
+
+    /// Paper eq. (4): the amplitude enclosure must contain the true
+    /// amplitude for any tone within the modulator's stable range and any
+    /// even M — the ε ∈ [−4, 4] bound is *hard*, not statistical.
+    #[test]
+    fn amplitude_enclosure_always_contains_truth(
+        a in 1.0e-3..0.75f64,
+        phi in -3.1f64..3.1,
+        m_half in 1u32..60,
+    ) {
+        let m = 2 * m_half;
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = source_of(Multitone::new(0.0).with_tone(Tone::new(1.0 / 96.0, a, phi)));
+        let meas = ev.measure_harmonic(&mut src, 1, m).unwrap();
+        prop_assert!(
+            meas.amplitude.contains(a),
+            "a={a}, φ={phi}, M={m}: {}", meas.amplitude
+        );
+    }
+
+    /// Paper eq. (5): same for the phase enclosure, whenever the signal is
+    /// large enough for the phase to be constrained at all.
+    #[test]
+    fn phase_enclosure_contains_truth(
+        a in 0.05..0.7f64,
+        phi in -3.0f64..3.0,
+        m_half in 5u32..50,
+    ) {
+        let m = 2 * m_half;
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = source_of(Multitone::new(0.0).with_tone(Tone::new(1.0 / 96.0, a, phi)));
+        let meas = ev.measure_harmonic(&mut src, 1, m).unwrap();
+        // Compare modulo 2π.
+        let wrapped = dsp::goertzel::wrap_phase(phi - meas.phase.est);
+        let shifted_truth = meas.phase.est + wrapped;
+        prop_assert!(
+            meas.phase.lo <= shifted_truth && shifted_truth <= meas.phase.hi,
+            "a={a}, φ={phi}, M={m}: {} truth {shifted_truth}", meas.phase
+        );
+    }
+
+    /// Paper eq. (3): DC enclosure contains the true level for any DC in
+    /// range.
+    #[test]
+    fn dc_enclosure_contains_truth(b in -0.7f64..0.7, m_half in 1u32..50) {
+        let m = 2 * m_half;
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = || b;
+        let meas = ev.measure_dc(&mut src, m).unwrap();
+        prop_assert!(meas.level.contains(b), "B={b}, M={m}: {}", meas.level);
+    }
+
+    /// A second tone at a *different, non-harmonic* admissible frequency
+    /// must not corrupt the k = 1 amplitude beyond its error bound growth
+    /// (square-wave demodulation folds only odd multiples of k).
+    #[test]
+    fn even_harmonic_interferer_rejected(
+        a1 in 0.1..0.5f64,
+        a2 in 0.0..0.2f64,
+        phi2 in -3.0f64..3.0,
+    ) {
+        let mt = Multitone::new(0.0)
+            .with_tone(Tone::new(1.0 / 96.0, a1, 0.7))
+            .with_tone(Tone::new(2.0 / 96.0, a2, phi2));
+        let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
+        let mut src = source_of(mt);
+        let meas = ev.measure_harmonic(&mut src, 1, 100).unwrap();
+        prop_assert!(
+            (meas.amplitude.est - a1).abs() < 5e-3,
+            "a1={a1}, a2={a2}: {}", meas.amplitude
+        );
+    }
+}
+
+mod interval_properties {
+    use proptest::prelude::*;
+    use sdeval::Bounded;
+
+    proptest! {
+        /// Interval ratio is a valid enclosure: for any x ∈ A and y ∈ B,
+        /// x/y ∈ A/B.
+        #[test]
+        fn ratio_encloses_pointwise(
+            a_lo in 0.1..10.0f64, a_w in 0.0..5.0f64,
+            b_lo in 0.1..10.0f64, b_w in 0.0..5.0f64,
+            ta in 0.0..1.0f64, tb in 0.0..1.0f64,
+        ) {
+            let a = Bounded::new(a_lo, a_lo + a_w / 2.0, a_lo + a_w);
+            let b = Bounded::new(b_lo, b_lo + b_w / 2.0, b_lo + b_w);
+            let x = a.lo + ta * (a.hi - a.lo);
+            let y = b.lo + tb * (b.hi - b.lo);
+            let r = a.ratio(&b);
+            prop_assert!(r.lo <= x / y && x / y <= r.hi);
+        }
+
+        /// Interval difference is a valid enclosure.
+        #[test]
+        fn minus_encloses_pointwise(
+            a_lo in -10.0..10.0f64, a_w in 0.0..5.0f64,
+            b_lo in -10.0..10.0f64, b_w in 0.0..5.0f64,
+            ta in 0.0..1.0f64, tb in 0.0..1.0f64,
+        ) {
+            let a = Bounded::new(a_lo, a_lo + a_w / 2.0, a_lo + a_w);
+            let b = Bounded::new(b_lo, b_lo + b_w / 2.0, b_lo + b_w);
+            let x = a.lo + ta * (a.hi - a.lo);
+            let y = b.lo + tb * (b.hi - b.lo);
+            let d = a.minus(&b);
+            prop_assert!(d.lo <= x - y + 1e-12 && x - y <= d.hi + 1e-12);
+        }
+
+        /// Monotonic maps preserve enclosure ordering.
+        #[test]
+        fn map_monotonic_preserves_order(lo in 0.01..10.0f64, w in 0.0..5.0f64) {
+            let b = Bounded::new(lo, lo + w / 2.0, lo + w);
+            let m = b.map_monotonic(|x| x.ln());
+            prop_assert!(m.lo <= m.est && m.est <= m.hi);
+        }
+    }
+}
+
+mod dsp_properties {
+    use dsp::fft::{fft_real, ifft_in_place};
+    use dsp::goertzel::dft_bin;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FFT round trip is the identity for arbitrary real records.
+        #[test]
+        fn fft_ifft_identity(data in proptest::collection::vec(-1.0e3..1.0e3f64, 64)) {
+            let mut spec = fft_real(&data).unwrap();
+            ifft_in_place(&mut spec).unwrap();
+            for (orig, rec) in data.iter().zip(&spec) {
+                prop_assert!((orig - rec.re).abs() < 1e-6);
+                prop_assert!(rec.im.abs() < 1e-6);
+            }
+        }
+
+        /// Goertzel/DFT-bin equals the FFT bin for arbitrary records.
+        #[test]
+        fn dft_bin_matches_fft(data in proptest::collection::vec(-10.0..10.0f64, 128), k in 0usize..64) {
+            let spec = fft_real(&data).unwrap();
+            let g = dft_bin(&data, k as f64 / 128.0);
+            prop_assert!((spec[k] - g).abs() < 1e-8);
+        }
+
+        /// Parseval holds for arbitrary records.
+        #[test]
+        fn parseval(data in proptest::collection::vec(-5.0..5.0f64, 256)) {
+            let time: f64 = data.iter().map(|v| v * v).sum();
+            let spec = fft_real(&data).unwrap();
+            let freq: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / 256.0;
+            prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+        }
+    }
+}
+
+mod mixsig_properties {
+    use mixsig::Matrix;
+    use proptest::prelude::*;
+
+    fn small_matrix() -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-1.0..1.0f64, 9).prop_map(|v| {
+            Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]])
+        })
+    }
+
+    proptest! {
+        /// exp(A)·exp(−A) = I for arbitrary small matrices.
+        #[test]
+        fn expm_inverse(a in small_matrix()) {
+            let e = a.expm();
+            let e_inv = a.scaled(-1.0).expm();
+            let p = &e * &e_inv;
+            for r in 0..3 {
+                for c in 0..3 {
+                    let expect = if r == c { 1.0 } else { 0.0 };
+                    prop_assert!((p[(r, c)] - expect).abs() < 1e-9);
+                }
+            }
+        }
+
+        /// det-free sanity: expm of the zero-scaled matrix is I.
+        #[test]
+        fn expm_zero_scaling(a in small_matrix()) {
+            let z = a.scaled(0.0).expm();
+            for r in 0..3 {
+                for c in 0..3 {
+                    let expect = if r == c { 1.0 } else { 0.0 };
+                    prop_assert!((z[(r, c)] - expect).abs() < 1e-14);
+                }
+            }
+        }
+    }
+}
