@@ -56,7 +56,10 @@ impl BitstreamCapture {
 
     /// The stream as ±1 values (for spectral inspection of the bitstream).
     pub fn as_levels(&self) -> Vec<f64> {
-        self.bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect()
     }
 
     /// Clears the memory.

@@ -127,17 +127,23 @@ mod tests {
             .with_tone(Tone::new(3.0 * f0, 0.4 * 10f64.powf(-63.0 / 20.0), 1.0));
         let mut src = mt_source(mt);
         let h = DigitalOscilloscope::wavesurfer().measure_harmonics(&mut src, f0, 4);
-        assert!((h.harmonics_dbc[0] + 57.0).abs() < 0.7, "HD2 {}", h.harmonics_dbc[0]);
-        assert!((h.harmonics_dbc[1] + 63.0).abs() < 0.7, "HD3 {}", h.harmonics_dbc[1]);
+        assert!(
+            (h.harmonics_dbc[0] + 57.0).abs() < 0.7,
+            "HD2 {}",
+            h.harmonics_dbc[0]
+        );
+        assert!(
+            (h.harmonics_dbc[1] + 63.0).abs() < 0.7,
+            "HD3 {}",
+            h.harmonics_dbc[1]
+        );
     }
 
     #[test]
     fn non_coherent_tone_still_read_accurately() {
         // The scope sees free-running signals: 85.37 cycles per record.
         let scope = DigitalOscilloscope::wavesurfer();
-        let mut src = mt_source(
-            Multitone::new(0.0).with_tone(Tone::new(85.37 / 8192.0, 0.3, 0.7)),
-        );
+        let mut src = mt_source(Multitone::new(0.0).with_tone(Tone::new(85.37 / 8192.0, 0.3, 0.7)));
         let h = scope.measure_harmonics(&mut src, 85.37 / 8192.0, 3);
         // Blackman-Harris scalloping ≈ 0.8 dB worst case.
         assert!((h.fundamental - 0.3).abs() < 0.03, "{}", h.fundamental);

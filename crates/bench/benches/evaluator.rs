@@ -53,5 +53,9 @@ fn bench_harmonic_measurement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_modulator_throughput, bench_harmonic_measurement);
+criterion_group!(
+    benches,
+    bench_modulator_throughput,
+    bench_harmonic_measurement
+);
 criterion_main!(benches);

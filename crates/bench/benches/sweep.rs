@@ -1,0 +1,57 @@
+//! Serial vs. parallel Bode sweep: the wall-clock case for the
+//! `SweepEngine`. Each sweep point is an independent simulation, so on an
+//! `n`-core machine the parallel engine should approach `n×`; the
+//! acceptance bar is ≥ 1.5× on ≥ 4 cores. Results are asserted
+//! bit-identical before any timing is reported.
+//!
+//! Run with `cargo bench --bench sweep`.
+
+use std::time::{Duration, Instant};
+
+use dut::ActiveRcFilter;
+use mixsig::units::Hertz;
+use netan::{log_spaced, AnalyzerConfig, BodePlot, NetworkAnalyzer, SweepEngine};
+
+const GRID_POINTS: usize = 25; // the paper's Fig. 10a/b grid density
+
+fn timed_sweep(
+    analyzer: &mut NetworkAnalyzer<'_>,
+    engine: &SweepEngine,
+    grid: &[Hertz],
+) -> (BodePlot, Duration) {
+    let start = Instant::now();
+    let plot = analyzer.sweep_with(engine, grid).expect("sweep failed");
+    (plot, start.elapsed())
+}
+
+fn main() {
+    let device = ActiveRcFilter::paper_dut().linearized();
+    let grid = log_spaced(Hertz(100.0), Hertz(20_000.0), GRID_POINTS);
+    let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal());
+    // Calibrate up front so both engines time pure sweep work.
+    analyzer.calibrate().expect("calibration failed");
+
+    let serial_engine = SweepEngine::serial();
+    let parallel_engine = SweepEngine::auto();
+
+    // Warm-up pass (page in code paths, steady-state CPU clocks).
+    let _ = timed_sweep(&mut analyzer, &serial_engine, &grid);
+
+    let (serial_plot, serial_time) = timed_sweep(&mut analyzer, &serial_engine, &grid);
+    let (parallel_plot, parallel_time) = timed_sweep(&mut analyzer, &parallel_engine, &grid);
+
+    assert_eq!(
+        serial_plot, parallel_plot,
+        "parallel sweep diverged from the serial reference"
+    );
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
+    println!("bode_sweep/{GRID_POINTS}_points  serial   {serial_time:>12?}   (1 worker)");
+    println!(
+        "bode_sweep/{GRID_POINTS}_points  parallel {parallel_time:>12?}   ({} workers)",
+        parallel_engine.threads()
+    );
+    println!(
+        "bode_sweep/{GRID_POINTS}_points  speedup  {speedup:.2}x   (results bit-identical: yes)"
+    );
+}

@@ -11,7 +11,10 @@
 use sdeval::{EvaluatorConfig, SinewaveEvaluator};
 
 fn main() {
-    bench::banner("Ablation AB1", "oversampling ratio N at constant test time MN");
+    bench::banner(
+        "Ablation AB1",
+        "oversampling ratio N at constant test time MN",
+    );
     let truth = 0.2;
     let mn_budget = 96_000u32; // constant total samples
     println!(

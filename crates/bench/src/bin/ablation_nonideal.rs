@@ -57,7 +57,10 @@ fn main() {
         ),
         (
             "+ finite gain/GBW only",
-            OpAmpModel { cubic: 0.0, ..real_op },
+            OpAmpModel {
+                cubic: 0.0,
+                ..real_op
+            },
             MatchingSpec::ideal(),
             false,
         ),
@@ -83,7 +86,11 @@ fn main() {
         ),
     ];
     for (label, op, matching, noise) in rows {
-        println!("  {:<28} {:>8.1}", label, generator_sfdr(op, matching, noise));
+        println!(
+            "  {:<28} {:>8.1}",
+            label,
+            generator_sfdr(op, matching, noise)
+        );
     }
 
     println!("\nevaluator |amplitude error| on a 0.2 V tone (M = 400):");

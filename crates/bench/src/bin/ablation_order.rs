@@ -10,9 +10,9 @@
 //! scheme's plain-counter digital simplicity.
 
 use dsp::tone::Tone;
-use sdeval::modulator2::SecondOrderModulator;
-use sdeval::{QuadratureSquareWave, SigmaDeltaModulator, SdmConfig};
 use mixsig::units::Volts;
+use sdeval::modulator2::SecondOrderModulator;
+use sdeval::{QuadratureSquareWave, SdmConfig, SigmaDeltaModulator};
 use std::f64::consts::PI;
 
 /// Measures amplitude of a coherent tone with plain-counter signatures
@@ -26,11 +26,19 @@ fn measure<F: FnMut(f64, bool) -> bool>(mut stepper: F, a: f64, phi: f64, m: u32
     let total = (m * n) as u64;
     for t in 0..total {
         let x = tone.sample(t as usize);
-        i1 += if stepper(x, sq.in_phase(t) > 0) { 1 } else { -1 };
+        i1 += if stepper(x, sq.in_phase(t) > 0) {
+            1
+        } else {
+            -1
+        };
     }
     for t in total..2 * total {
         let x = tone.sample(t as usize);
-        i2 += if stepper(x, sq.quadrature(t) > 0) { 1 } else { -1 };
+        i2 += if stepper(x, sq.quadrature(t) > 0) {
+            1
+        } else {
+            -1
+        };
     }
     let c = sq.fundamental_coefficient();
     let mn = (m * n) as f64;

@@ -12,7 +12,10 @@ use dsp::db::amplitude_to_db;
 use sdeval::{EvaluatorConfig, SinewaveEvaluator};
 
 fn main() {
-    bench::banner("Dynamic range", "tone detection at 20 kHz vs level below FS");
+    bench::banner(
+        "Dynamic range",
+        "tone detection at 20 kHz vs level below FS",
+    );
     let f_eva = 96.0 * 20_000.0;
     println!("f_wave = 20 kHz → f_eva = {f_eva} Hz (N = 96)\n");
     println!(
@@ -23,8 +26,7 @@ fn main() {
         let a = 10f64.powf(db / 20.0);
         // Scale M so the ±4-count bound sits well below the tone:
         // bound_amp ≈ (π/2)·vref·4√2/(MN) ≪ a.
-        let m = ((40.0 * 4.0 * std::f64::consts::FRAC_PI_2 * 1.414) / (96.0 * a)).ceil()
-            as u32;
+        let m = ((40.0 * 4.0 * std::f64::consts::FRAC_PI_2 * 1.414) / (96.0 * a)).ceil() as u32;
         let m = (m + m % 2).max(40); // even, at least 40
         let mut ev = SinewaveEvaluator::new(EvaluatorConfig::cmos_035um(9));
         let mut src = bench::tone_source(1.0 / 96.0, a, 0.35);

@@ -18,7 +18,10 @@ fn main() {
 
     println!("{}", bode_table(&plot));
     if let Some(fc) = plot.cutoff_frequency() {
-        println!("measured -3 dB cut-off: {:.1} Hz (DUT nominal: 1000 Hz)", fc.value());
+        println!(
+            "measured -3 dB cut-off: {:.1} Hz (DUT nominal: 1000 Hz)",
+            fc.value()
+        );
     }
     println!(
         "worst gain deviation from analytic response: {:.3} dB",

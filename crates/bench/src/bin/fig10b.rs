@@ -7,7 +7,10 @@ use mixsig::units::Hertz;
 use netan::{AnalyzerConfig, NetworkAnalyzer};
 
 fn main() {
-    bench::banner("Fig. 10b", "Bode phase of the 1 kHz active-RC DUT (M = 200)");
+    bench::banner(
+        "Fig. 10b",
+        "Bode phase of the 1 kHz active-RC DUT (M = 200)",
+    );
     let device = ActiveRcFilter::paper_dut().linearized();
     let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::cmos_035um(3));
     let freqs = netan::log_spaced(Hertz(100.0), Hertz(20_000.0), 21);

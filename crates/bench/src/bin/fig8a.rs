@@ -19,7 +19,10 @@ fn main() {
         clk.stimulus_frequency().value()
     );
 
-    println!("{:>12} {:>16} {:>16} {:>8}", "VA+−VA− (mV)", "paper (mV)", "measured (mV)", "ratio");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "VA+−VA− (mV)", "paper (mV)", "measured (mV)", "ratio"
+    );
     let mut waves = Vec::new();
     for (va_mv, paper_mv) in [(150.0, 300.0), (250.0, 500.0), (300.0, 600.0)] {
         let cfg = GeneratorConfig::cmos_035um(clk, Volts::from_mv(va_mv), 1);

@@ -13,8 +13,7 @@ fn main() {
     let clk = MasterClock::from_hz(6.0e6);
 
     // One representative fabrication in detail.
-    let mut generator =
-        SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), 1));
+    let mut generator = SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), 1));
     let spec = GeneratorSpectrum::measure(&mut generator, 64, 10);
     println!(
         "fundamental: {:.1} mV ({:.3} Vpp)",
@@ -25,8 +24,10 @@ fn main() {
     for h in 2..=10 {
         println!("{:>4} {:>12.1}", h, spec.hd_dbc(h));
     }
-    println!("\nnoise floor (rms, off-harmonic probe bins): {:.1} dB",
-        20.0 * (spec.noise_rms.max(1e-300) / spec.fundamental).log10());
+    println!(
+        "\nnoise floor (rms, off-harmonic probe bins): {:.1} dB",
+        20.0 * (spec.noise_rms.max(1e-300) / spec.fundamental).log10()
+    );
 
     // SFDR/THD across fabrications (the paper reports one die).
     println!("\n{:>6} {:>10} {:>10}", "die", "SFDR (dB)", "THD (dB)");

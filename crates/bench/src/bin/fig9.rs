@@ -44,9 +44,8 @@ fn main() {
                 let mut src = awg.source();
                 let meas = ev.measure_harmonic(&mut src, k, m).unwrap();
                 estimates.push(amplitude_to_dbfs(meas.amplitude.est));
-                widths.push(
-                    20.0 * (meas.amplitude.hi / meas.amplitude.lo.max(1e-12)).log10() / 2.0,
-                );
+                widths
+                    .push(20.0 * (meas.amplitude.hi / meas.amplitude.lo.max(1e-12)).log10() / 2.0);
             }
             let (lo, hi) = bench::min_max(&estimates);
             println!(

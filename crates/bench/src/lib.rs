@@ -32,9 +32,10 @@ pub fn std_dev(v: &[f64]) -> f64 {
 
 /// Minimum and maximum of a slice.
 pub fn min_max(v: &[f64]) -> (f64, f64) {
-    v.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    v.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// A streaming tone source at normalized frequency `f` (amplitude `a`,

@@ -1,5 +1,6 @@
 //! The network analyzer proper (paper Section III.C).
 
+use crate::engine::SweepEngine;
 use crate::error::NetanError;
 use crate::sweep::BodePlot;
 use ate::{DemoBoard, SignalPath};
@@ -170,24 +171,53 @@ impl<'d> NetworkAnalyzer<'d> {
         Ok(cal)
     }
 
+    /// Returns the stored calibration, performing one if necessary.
+    fn ensure_calibrated(&mut self) -> Result<Calibration, NetanError> {
+        match self.calibration {
+            Some(c) => Ok(c),
+            None => self.calibrate(),
+        }
+    }
+
+    /// Rejects NaN and non-positive stimulus frequencies.
+    fn validate_frequency(f_wave: Hertz) -> Result<(), NetanError> {
+        if f_wave.value().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(NetanError::InvalidFrequency {
+                hz_millis: (f_wave.value() * 1000.0) as i64,
+            });
+        }
+        Ok(())
+    }
+
     /// Measures the DUT gain and phase shift at `f_wave` (the master clock
     /// is set to `96·f_wave`, keeping `N` constant).
     ///
     /// # Errors
     ///
     /// Returns [`NetanError::InvalidFrequency`] for non-positive
-    /// frequencies and propagates evaluator errors.
+    /// frequencies — before performing any lazy calibration work — and
+    /// propagates evaluator errors.
     pub fn measure_point(&mut self, f_wave: Hertz) -> Result<BodePoint, NetanError> {
-        // NaN and non-positive frequencies are both rejected.
-        if f_wave.value().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            return Err(NetanError::InvalidFrequency {
-                hz_millis: (f_wave.value() * 1000.0) as i64,
-            });
-        }
-        let cal = match self.calibration {
-            Some(c) => c,
-            None => self.calibrate()?,
-        };
+        Self::validate_frequency(f_wave)?;
+        let cal = self.ensure_calibrated()?;
+        self.measure_point_calibrated(cal, f_wave)
+    }
+
+    /// Measures one Bode point against an explicit stimulus
+    /// characterization. Takes `&self`: every sweep point is an
+    /// independent simulation, so [`SweepEngine`](crate::SweepEngine)
+    /// workers can share one analyzer across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::InvalidFrequency`] for non-positive
+    /// frequencies and propagates evaluator errors.
+    pub fn measure_point_calibrated(
+        &self,
+        cal: Calibration,
+        f_wave: Hertz,
+    ) -> Result<BodePoint, NetanError> {
+        Self::validate_frequency(f_wave)?;
         let out = self.measure_path(f_wave, 1, SignalPath::Dut)?;
         let gain = out.amplitude.ratio(&cal.amplitude);
         let gain_db = gain.map_monotonic(|g| 20.0 * g.max(1e-15).log10());
@@ -221,40 +251,63 @@ impl<'d> NetworkAnalyzer<'d> {
         })
     }
 
+    /// Measures a batch of Bode points with `engine`, calibrating lazily.
+    /// Points come back in the order of `frequencies` with their raw
+    /// (wrapped) phase enclosures, regardless of how the engine schedules
+    /// the work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::EmptySweep`] for an empty list. The whole
+    /// batch is validated up front, so the lowest-index
+    /// [`NetanError::InvalidFrequency`] is rejected before calibration or
+    /// any simulation; measurement errors surface as the lowest-index
+    /// per-point error.
+    pub fn measure_points(
+        &mut self,
+        frequencies: &[Hertz],
+        engine: &SweepEngine,
+    ) -> Result<Vec<BodePoint>, NetanError> {
+        if frequencies.is_empty() {
+            return Err(NetanError::EmptySweep);
+        }
+        for &f in frequencies {
+            Self::validate_frequency(f)?;
+        }
+        let cal = self.ensure_calibrated()?;
+        engine.measure(self, cal, frequencies)
+    }
+
     /// Sweeps the analyzer over `frequencies`, unwrapping the phase by
-    /// continuity (the paper's Fig. 10b presentation).
+    /// continuity (the paper's Fig. 10b presentation). Serial; see
+    /// [`sweep_with`](Self::sweep_with) to fan the points out across a
+    /// [`SweepEngine`]'s worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`NetanError::EmptySweep`] for an empty list and propagates
     /// per-point errors.
     pub fn sweep(&mut self, frequencies: &[Hertz]) -> Result<BodePlot, NetanError> {
-        if frequencies.is_empty() {
-            return Err(NetanError::EmptySweep);
-        }
-        let mut points = Vec::with_capacity(frequencies.len());
-        let mut prev_phase: Option<f64> = None;
-        for &f in frequencies {
-            let mut p = self.measure_point(f)?;
-            if let Some(prev) = prev_phase {
-                // Choose the 360°-shift closest to the previous point.
-                let mut est = p.phase_deg.est;
-                while est - prev > 180.0 {
-                    est -= 360.0;
-                }
-                while est - prev < -180.0 {
-                    est += 360.0;
-                }
-                let shift = est - p.phase_deg.est;
-                p.phase_deg = Bounded::new(
-                    p.phase_deg.lo + shift,
-                    est,
-                    p.phase_deg.hi + shift,
-                );
-            }
-            prev_phase = Some(p.phase_deg.est);
-            points.push(p);
-        }
+        self.sweep_with(&SweepEngine::serial(), frequencies)
+    }
+
+    /// Sweeps the analyzer over `frequencies` using `engine` to schedule
+    /// the points, then unwraps the phase by continuity. Parallel and
+    /// serial engines produce bit-identical plots: every point is an
+    /// independent, deterministic simulation and the continuity pass runs
+    /// over the ordered result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::EmptySweep`] for an empty list and propagates
+    /// per-point errors.
+    pub fn sweep_with(
+        &mut self,
+        engine: &SweepEngine,
+        frequencies: &[Hertz],
+    ) -> Result<BodePlot, NetanError> {
+        let mut points = self.measure_points(frequencies, engine)?;
+        crate::sweep::unwrap_phase_by_continuity(&mut points);
         Ok(BodePlot::new(points))
     }
 

@@ -15,6 +15,8 @@
 //! * **gain** = ratio of DUT-output and stimulus amplitude enclosures,
 //! * **phase shift** = difference of the phase enclosures,
 //! * a **frequency sweep** planner (log grid, constant `N`),
+//! * a **parallel sweep engine** ([`SweepEngine`]) that fans independent
+//!   sweep points out across worker threads with bit-identical results,
 //! * a **harmonic distortion** mode (paper Fig. 10c).
 //!
 //! # Example
@@ -33,6 +35,7 @@
 //! ```
 
 pub mod analyzer;
+pub mod engine;
 pub mod error;
 pub mod harmonics;
 pub mod plan;
@@ -40,9 +43,8 @@ pub mod report;
 pub mod spec;
 pub mod sweep;
 
-pub use analyzer::{
-    AnalyzerConfig, BodePoint, Calibration, HardwareProfile, NetworkAnalyzer,
-};
+pub use analyzer::{AnalyzerConfig, BodePoint, Calibration, HardwareProfile, NetworkAnalyzer};
+pub use engine::SweepEngine;
 pub use error::NetanError;
 pub use harmonics::DistortionReport;
 pub use plan::{plan_measurement, TestPlan};

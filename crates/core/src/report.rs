@@ -11,7 +11,13 @@ pub fn bode_table(plot: &BodePlot) -> String {
     let _ = writeln!(
         out,
         "{:>12} {:>10} {:>18} {:>10} {:>10} {:>20} {:>12}",
-        "freq (Hz)", "gain (dB)", "gain band (dB)", "ideal", "phase (°)", "phase band (°)", "ideal (°)"
+        "freq (Hz)",
+        "gain (dB)",
+        "gain band (dB)",
+        "ideal",
+        "phase (°)",
+        "phase band (°)",
+        "ideal (°)"
     );
     for p in plot.points() {
         let _ = writeln!(
@@ -58,7 +64,11 @@ pub fn bode_csv(plot: &BodePlot) -> String {
 pub fn distortion_table(report: &DistortionReport) -> String {
     let mut out = String::new();
     let fund = report.fundamental();
-    let _ = writeln!(out, "fundamental: {:.4} V  [{:.4}, {:.4}]", fund.est, fund.lo, fund.hi);
+    let _ = writeln!(
+        out,
+        "fundamental: {:.4} V  [{:.4}, {:.4}]",
+        fund.est, fund.lo, fund.hi
+    );
     for m in &report.measurements()[1..] {
         let hd = report.hd_dbc(m.k);
         let _ = writeln!(

@@ -6,6 +6,7 @@
 
 use crate::analyzer::BodePoint;
 use mixsig::units::Hertz;
+use sdeval::Bounded;
 
 /// Logarithmically spaced frequencies from `start` to `stop` inclusive.
 ///
@@ -26,6 +27,32 @@ pub fn log_spaced(start: Hertz, stop: Hertz, points: usize) -> Vec<Hertz> {
             Hertz((l0 + t * (l1 - l0)).exp())
         })
         .collect()
+}
+
+/// Unwraps the phase of an ordered point sequence by continuity: each
+/// estimate is shifted by the multiple of 360° that lands it closest to
+/// its predecessor, carrying the enclosure bounds along (the paper's
+/// Fig. 10b presentation).
+///
+/// This pass runs over the *ordered* result, after measurement, so serial
+/// and parallel sweeps that produce the same raw points produce the same
+/// unwrapped points.
+pub fn unwrap_phase_by_continuity(points: &mut [BodePoint]) {
+    let mut prev_phase: Option<f64> = None;
+    for p in points {
+        if let Some(prev) = prev_phase {
+            let mut est = p.phase_deg.est;
+            while est - prev > 180.0 {
+                est -= 360.0;
+            }
+            while est - prev < -180.0 {
+                est += 360.0;
+            }
+            let shift = est - p.phase_deg.est;
+            p.phase_deg = Bounded::new(p.phase_deg.lo + shift, est, p.phase_deg.hi + shift);
+        }
+        prev_phase = Some(p.phase_deg.est);
+    }
 }
 
 /// The result of a frequency sweep: an ordered set of [`BodePoint`]s.
@@ -140,8 +167,8 @@ mod tests {
     #[test]
     fn coverage_counts_enclosures() {
         let plot = BodePlot::new(vec![
-            synthetic_point(100.0, 0.0, 0.05),  // inside ±0.1
-            synthetic_point(200.0, 0.0, 0.5),   // outside
+            synthetic_point(100.0, 0.0, 0.05), // inside ±0.1
+            synthetic_point(200.0, 0.0, 0.5),  // outside
         ]);
         assert!((plot.gain_coverage() - 0.5).abs() < 1e-12);
     }
@@ -163,7 +190,11 @@ mod tests {
             synthetic_point(10_000.0, -40.0, -40.0),
         ]);
         let fc = plot.cutoff_frequency().unwrap();
-        assert!((fc.value() - 1000.0).abs() / 1000.0 < 0.01, "{}", fc.value());
+        assert!(
+            (fc.value() - 1000.0).abs() / 1000.0 < 0.01,
+            "{}",
+            fc.value()
+        );
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The workspace builds fully offline, so the real criterion cannot be
+//! fetched from crates.io. This shim re-implements the small slice of its
+//! API that the `bench` crate uses — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::iter`, [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a plain wall-clock timer.
+//!
+//! Reported statistics are median / min / max of per-sample wall time.
+//! This is *not* a statistically rigorous benchmark harness; it exists so
+//! `cargo bench` produces comparable numbers without network access, and
+//! so the bench sources stay source-compatible with the real criterion.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a benchmark group with a shared name prefix.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        let median = samples
+            .get(samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let min = samples.first().copied().unwrap_or(Duration::ZERO);
+        let max = samples.last().copied().unwrap_or(Duration::ZERO);
+        println!(
+            "{}/{:<28} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            self.name,
+            id,
+            median,
+            min,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; times the closure given to [`iter`].
+///
+/// [`iter`]: Bencher::iter
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `routine` (after one warm-up run).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, excluded from samples
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+
+    criterion_group!(demo_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop")
+            .bench_function("nothing", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn macros_expand() {
+        demo_group();
+    }
+}

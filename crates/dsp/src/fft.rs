@@ -231,7 +231,9 @@ mod tests {
     fn linearity() {
         let n = 128;
         let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (i % 7) as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i % 7) as f64))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let mut fa = a.clone();
         let mut fb = b.clone();

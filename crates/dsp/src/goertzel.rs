@@ -91,7 +91,12 @@ mod tests {
         let x = Tone::new(f, 0.4, 0.7).samples(n);
         let g = goertzel(&x, f);
         let d = dft_bin(&x, f);
-        assert!((g.abs() - d.abs()).abs() < 1e-6, "{} vs {}", g.abs(), d.abs());
+        assert!(
+            (g.abs() - d.abs()).abs() < 1e-6,
+            "{} vs {}",
+            g.abs(),
+            d.abs()
+        );
     }
 
     #[test]

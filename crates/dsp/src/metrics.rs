@@ -112,7 +112,9 @@ pub fn snr(spectrum: &Spectrum, fundamental_bin: usize) -> f64 {
     let n = spectrum.record_len();
     let guard = spectrum.window().leakage_bins() + 1;
     let carrier = spectrum.tone_amplitude(fundamental_bin);
-    let harmonic_bins: Vec<usize> = (2..=10).map(|h| alias_bin(h * fundamental_bin, n)).collect();
+    let harmonic_bins: Vec<usize> = (2..=10)
+        .map(|h| alias_bin(h * fundamental_bin, n))
+        .collect();
     let mut noise_power = 0.0;
     for (k, &a) in spectrum.amplitudes().iter().enumerate() {
         let near_carrier = k.abs_diff(fundamental_bin) <= guard;

@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, -1.0, 2.0]);
+        let x = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [3.0, -1.0, 2.0],
+        );
         assert_eq!(x, [3.0, -1.0, 2.0]);
     }
 

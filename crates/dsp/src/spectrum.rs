@@ -183,7 +183,11 @@ mod tests {
         let x = Tone::new(100.5 / n as f64, 0.5, 0.0).samples(n);
         let s = Spectrum::periodogram(&x, Window::FlatTop);
         let k = s.peak_bin();
-        assert!((s.tone_amplitude(k) - 0.5).abs() < 0.01, "{}", s.tone_amplitude(k));
+        assert!(
+            (s.tone_amplitude(k) - 0.5).abs() < 0.01,
+            "{}",
+            s.tone_amplitude(k)
+        );
     }
 
     #[test]

@@ -43,8 +43,7 @@ impl Window {
             Window::Hann => 0.5 - 0.5 * x.cos(),
             Window::Hamming => 0.54 - 0.46 * x.cos(),
             Window::BlackmanHarris => {
-                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos()
-                    - 0.01168 * (3.0 * x).cos()
+                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos() - 0.01168 * (3.0 * x).cos()
             }
             Window::FlatTop => {
                 1.0 - 1.93 * x.cos() + 1.29 * (2.0 * x).cos() - 0.388 * (3.0 * x).cos()
@@ -144,10 +143,7 @@ mod tests {
             let n = 128;
             let w = win.generate(n);
             for i in 1..n {
-                assert!(
-                    (w[i] - w[n - i]).abs() < 1e-12,
-                    "{win} asymmetric at {i}"
-                );
+                assert!((w[i] - w[n - i]).abs() < 1e-12, "{win} asymmetric at {i}");
             }
         }
     }

@@ -5,7 +5,11 @@ use mixsig::units::Hertz;
 
 /// A device under test: a description that can be instantiated into a
 /// streaming simulator at any sampling rate.
-pub trait Dut {
+///
+/// Descriptions are `Send + Sync` so a sweep engine can fan independent
+/// measurement points out across threads that share one description; the
+/// per-measurement state lives in the [`DutSim`] each thread instantiates.
+pub trait Dut: Send + Sync {
     /// The ideal (nominal, linear) frequency response — the reference curve
     /// for Bode comparisons.
     fn ideal_response(&self, f: Hertz) -> FrequencyResponse;

@@ -98,10 +98,7 @@ impl TransferFunction {
     ///
     /// Panics if the denominator is empty or all-zero.
     pub fn new(num: Vec<f64>, den: Vec<f64>) -> Self {
-        assert!(
-            den.iter().any(|&c| c != 0.0),
-            "denominator must be nonzero"
-        );
+        assert!(den.iter().any(|&c| c != 0.0), "denominator must be nonzero");
         Self { num, den }
     }
 
@@ -285,13 +282,7 @@ pub struct DiscreteStateSpace {
 impl DiscreteStateSpace {
     /// Advances one sample with held input `u`, returning the output.
     pub fn step(&mut self, u: f64) -> f64 {
-        let y = self
-            .c
-            .mul_vec(&self.state)
-            .first()
-            .copied()
-            .unwrap_or(0.0)
-            + self.d * u;
+        let y = self.c.mul_vec(&self.state).first().copied().unwrap_or(0.0) + self.d * u;
         let ax = self.ad.mul_vec(&self.state);
         for (i, x) in self.state.iter_mut().enumerate() {
             *x = ax[i] + self.bd[(i, 0)] * u;
@@ -325,7 +316,8 @@ mod tests {
 
     #[test]
     fn lowpass_dc_gain_and_rolloff() {
-        let tf = TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        let tf =
+            TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
         assert!(close(tf.response(Hertz(0.001)).magnitude, 1.0, 1e-6));
         // Butterworth: -3 dB at f0.
         assert!(close(tf.magnitude_db(Hertz(1000.0)), -3.0103, 0.01));
@@ -335,7 +327,8 @@ mod tests {
 
     #[test]
     fn lowpass_phase_limits() {
-        let tf = TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        let tf =
+            TransferFunction::lowpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 1.0);
         assert!(tf.phase_deg(Hertz(1.0)).abs() < 0.2);
         assert!(close(tf.phase_deg(Hertz(1000.0)), -90.0, 0.1));
         assert!(tf.phase_deg(Hertz(100_000.0)) < -175.0);
@@ -352,7 +345,8 @@ mod tests {
 
     #[test]
     fn highpass_passes_high() {
-        let tf = TransferFunction::highpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 2.0);
+        let tf =
+            TransferFunction::highpass_biquad(Hertz(1000.0), std::f64::consts::FRAC_1_SQRT_2, 2.0);
         assert!(close(tf.response(Hertz(1.0e6)).magnitude, 2.0, 1e-3));
         assert!(tf.response(Hertz(10.0)).magnitude < 0.001);
     }
@@ -373,9 +367,7 @@ mod tests {
         let y = dss.process(&x);
         // Discard the first half (transient), fit the rest.
         let steady = &y[n / 2..];
-        let amp = steady
-            .iter()
-            .fold(0.0f64, |m, &v| m.max(v.abs()));
+        let amp = steady.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let expect = tf.response(Hertz(f_test)).magnitude;
         assert!(close(amp, expect, 0.01), "amp {amp} vs {expect}");
     }

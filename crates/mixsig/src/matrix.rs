@@ -73,11 +73,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows)
-            .map(|r| {
-                (0..self.cols)
-                    .map(|c| self[(r, c)] * v[c])
-                    .sum()
-            })
+            .map(|r| (0..self.cols).map(|c| self[(r, c)] * v[c]).sum())
             .collect()
     }
 
@@ -104,7 +100,10 @@ impl Matrix {
     ///
     /// Panics when the block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, h: usize, w: usize) -> Matrix {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "block out of range");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "block out of range"
+        );
         let mut out = Matrix::zeros(h, w);
         for r in 0..h {
             for c in 0..w {
@@ -168,7 +167,11 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -185,7 +188,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

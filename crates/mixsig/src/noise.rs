@@ -9,9 +9,8 @@
 //! each sampling event freezes a noise charge with variance `kT/C` on the
 //! sampling capacitor.
 
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+// No external `rand` dependency: the workspace builds fully offline, so the
+// uniform source is an in-tree xoshiro256++ generator seeded via SplitMix64.
 
 /// Boltzmann constant in J/K.
 pub const BOLTZMANN: f64 = 1.380_649e-23;
@@ -32,10 +31,56 @@ pub fn ktc_noise_rms(capacitance_farads: f64) -> f64 {
     (BOLTZMANN * ROOM_TEMPERATURE_K / capacitance_farads).sqrt()
 }
 
+/// A seeded xoshiro256++ uniform generator (public-domain algorithm by
+/// Blackman & Vigna), state-initialized with SplitMix64.
+#[derive(Debug, Clone)]
+struct Xoshiro256pp {
+    state: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// Uniform in `[f64::EPSILON, 1.0)` — strictly positive so `ln()` in
+    /// Box–Muller is finite.
+    fn uniform_open(&mut self) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u.max(f64::EPSILON)
+    }
+}
+
 /// A seeded Gaussian noise source.
 #[derive(Debug, Clone)]
 pub struct NoiseSource {
-    rng: StdRng,
+    rng: Xoshiro256pp,
     enabled: bool,
 }
 
@@ -43,7 +88,7 @@ impl NoiseSource {
     /// Creates a noise source from a seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::seed_from_u64(seed),
             enabled: true,
         }
     }
@@ -51,7 +96,7 @@ impl NoiseSource {
     /// A disabled source that always returns zero — the "ideal" mode.
     pub fn disabled() -> Self {
         Self {
-            rng: StdRng::seed_from_u64(0),
+            rng: Xoshiro256pp::seed_from_u64(0),
             enabled: false,
         }
     }
@@ -80,12 +125,10 @@ impl NoiseSource {
         self.gaussian(density_v_rt_hz * bandwidth_hz.sqrt())
     }
 
-    /// Standard normal via Box–Muller (avoids a dependency on
-    /// `rand_distr`).
+    /// Standard normal via Box–Muller.
     fn standard_normal(&mut self) -> f64 {
-        let uniform = rand::distributions::Uniform::new(f64::EPSILON, 1.0f64);
-        let u1: f64 = uniform.sample(&mut self.rng);
-        let u2: f64 = uniform.sample(&mut self.rng);
+        let u1 = self.rng.uniform_open();
+        let u2 = self.rng.uniform_open();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }
@@ -117,7 +160,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = NoiseSource::new(1);
         let mut b = NoiseSource::new(2);
-        let same = (0..16).filter(|_| a.gaussian(1.0) == b.gaussian(1.0)).count();
+        let same = (0..16)
+            .filter(|_| a.gaussian(1.0) == b.gaussian(1.0))
+            .count();
         assert!(same < 2);
     }
 

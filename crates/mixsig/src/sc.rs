@@ -140,7 +140,10 @@ impl ScIntegrator {
             .settled_step(Volts(mu * compression * delta), beta, self.settle_time)
             .value();
 
-        self.vout = self.opamp.clamp_output(Volts(leak * self.vout + achieved)).value();
+        self.vout = self
+            .opamp
+            .clamp_output(Volts(leak * self.vout + achieved))
+            .value();
         self.vout
     }
 }
@@ -170,13 +173,7 @@ mod tests {
     #[test]
     fn finite_gain_leaks() {
         let opamp = OpAmpModel::ideal().with_dc_gain(100.0);
-        let mut int = ScIntegrator::new(
-            1.0,
-            1.0e-12,
-            opamp,
-            Seconds(1.0),
-            NoiseSource::disabled(),
-        );
+        let mut int = ScIntegrator::new(1.0, 1.0e-12, opamp, Seconds(1.0), NoiseSource::disabled());
         int.set_output(1.0);
         // One step with a unit branch at 0 V: output decays by ct/(cf·A) = 1%.
         let v = int.step(&[Branch::new(1.0, 0.0)]);
@@ -186,13 +183,7 @@ mod tests {
     #[test]
     fn finite_gain_reduces_step() {
         let opamp = OpAmpModel::ideal().with_dc_gain(1000.0);
-        let mut int = ScIntegrator::new(
-            1.0,
-            1.0e-12,
-            opamp,
-            Seconds(1.0),
-            NoiseSource::disabled(),
-        );
+        let mut int = ScIntegrator::new(1.0, 1.0e-12, opamp, Seconds(1.0), NoiseSource::disabled());
         let v = int.step(&[Branch::new(1.0, 1.0)]);
         let beta = 0.5;
         let mu = 1.0 / (1.0 + 1.0 / (1000.0 * beta));
@@ -202,13 +193,7 @@ mod tests {
     #[test]
     fn offset_integrates() {
         let opamp = OpAmpModel::ideal().with_offset(Volts(0.001));
-        let mut int = ScIntegrator::new(
-            1.0,
-            1.0e-12,
-            opamp,
-            Seconds(1.0),
-            NoiseSource::disabled(),
-        );
+        let mut int = ScIntegrator::new(1.0, 1.0e-12, opamp, Seconds(1.0), NoiseSource::disabled());
         let v = int.step(&[Branch::new(1.0, 0.0)]);
         assert!((v - 0.001).abs() < 1e-12);
     }
@@ -217,13 +202,7 @@ mod tests {
     fn swing_clamps_output() {
         let mut opamp = OpAmpModel::ideal();
         opamp.output_swing = Volts(1.0);
-        let mut int = ScIntegrator::new(
-            1.0,
-            1.0e-12,
-            opamp,
-            Seconds(1.0),
-            NoiseSource::disabled(),
-        );
+        let mut int = ScIntegrator::new(1.0, 1.0e-12, opamp, Seconds(1.0), NoiseSource::disabled());
         for _ in 0..10 {
             int.step(&[Branch::new(1.0, 1.0)]);
         }

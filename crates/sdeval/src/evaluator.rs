@@ -47,10 +47,17 @@ impl std::fmt::Display for EvalError {
                 write!(f, "evaluation periods must be positive and even, got {m}")
             }
             EvalError::InvalidRatio { n, k } => {
-                write!(f, "oversampling ratio {n} is not a multiple of 8k = {}", 8 * k)
+                write!(
+                    f,
+                    "oversampling ratio {n} is not a multiple of 8k = {}",
+                    8 * k
+                )
             }
             EvalError::HarmonicIndexZero => {
-                write!(f, "harmonic index must be at least 1; use measure_dc for DC")
+                write!(
+                    f,
+                    "harmonic index must be at least 1; use measure_dc for DC"
+                )
             }
         }
     }
@@ -280,11 +287,7 @@ impl SinewaveEvaluator {
         if self.config.chopped {
             let (a1, a2) = run(self, false, source);
             let (b1, b2) = run(self, true, source);
-            (
-                (a1 - b1) as f64 / 2.0,
-                (a2 - b2) as f64 / 2.0,
-                2 * window,
-            )
+            ((a1 - b1) as f64 / 2.0, (a2 - b2) as f64 / 2.0, 2 * window)
         } else {
             let (a1, a2) = run(self, false, source);
             (a1 as f64, a2 as f64, window)
@@ -362,9 +365,21 @@ mod tests {
         };
         let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
         let ms = ev.measure_harmonics(&mut src, &[1, 2, 3], 500).unwrap();
-        assert!((ms[0].amplitude.est - 0.2).abs() < 2e-3, "{}", ms[0].amplitude);
-        assert!((ms[1].amplitude.est - 0.02).abs() < 1e-3, "{}", ms[1].amplitude);
-        assert!((ms[2].amplitude.est - 0.002).abs() < 6e-4, "{}", ms[2].amplitude);
+        assert!(
+            (ms[0].amplitude.est - 0.2).abs() < 2e-3,
+            "{}",
+            ms[0].amplitude
+        );
+        assert!(
+            (ms[1].amplitude.est - 0.02).abs() < 1e-3,
+            "{}",
+            ms[1].amplitude
+        );
+        assert!(
+            (ms[2].amplitude.est - 0.002).abs() < 6e-4,
+            "{}",
+            ms[2].amplitude
+        );
     }
 
     #[test]
@@ -375,11 +390,7 @@ mod tests {
         for m in [2u32, 10, 20, 100, 400] {
             let mut src = tone_source(1.0 / 96.0, 0.3, 0.9);
             let meas = ev.measure_harmonic(&mut src, 1, m).unwrap();
-            assert!(
-                meas.amplitude.contains(0.3),
-                "M={m}: {}",
-                meas.amplitude
-            );
+            assert!(meas.amplitude.contains(0.3), "M={m}: {}", meas.amplitude);
         }
     }
 
@@ -387,7 +398,11 @@ mod tests {
     fn bound_width_shrinks_as_one_over_mn() {
         let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
         let mut src = tone_source(1.0 / 96.0, 0.3, 0.0);
-        let w20 = ev.measure_harmonic(&mut src, 1, 20).unwrap().amplitude.width();
+        let w20 = ev
+            .measure_harmonic(&mut src, 1, 20)
+            .unwrap()
+            .amplitude
+            .width();
         let w200 = ev
             .measure_harmonic(&mut src, 1, 200)
             .unwrap()
@@ -473,7 +488,9 @@ mod tests {
         assert!(EvalError::InvalidRatio { n: 96, k: 5 }
             .to_string()
             .contains("multiple of 8k"));
-        assert!(EvalError::HarmonicIndexZero.to_string().contains("measure_dc"));
+        assert!(EvalError::HarmonicIndexZero
+            .to_string()
+            .contains("measure_dc"));
     }
 
     #[test]

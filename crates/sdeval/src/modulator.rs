@@ -203,8 +203,7 @@ impl SigmaDeltaModulator {
     pub fn step(&mut self, x: f64, q: bool) -> bool {
         // Latch decision on the previous integrator state.
         let cmp = &self.config.comparator;
-        let threshold = cmp.offset.value()
-            + self.comparator_noise.gaussian(cmp.noise_rms.value())
+        let threshold = cmp.offset.value() + self.comparator_noise.gaussian(cmp.noise_rms.value())
             - if self.last_bit { 1.0 } else { -1.0 } * cmp.hysteresis.value();
         let bit = self.integrator.output() >= threshold;
         // Integrate: modulated input, DAC feedback, fixed-polarity offset.
@@ -339,7 +338,9 @@ mod tests {
     fn noisy_modulator_is_reproducible() {
         let mk = || {
             let mut m = SigmaDeltaModulator::new(SdmConfig::cmos_035um(17));
-            (0..256).map(|i| m.step((i as f64 * 0.01).sin(), true)).collect::<Vec<bool>>()
+            (0..256)
+                .map(|i| m.step((i as f64 * 0.01).sin(), true))
+                .collect::<Vec<bool>>()
         };
         assert_eq!(mk(), mk());
     }

@@ -87,10 +87,8 @@ impl SecondOrderModulator {
             Branch::new(b * q_sign, x),
             Branch::new(-b, d_sign * self.vref),
         ]);
-        self.int2.step(&[
-            Branch::new(0.5, v1),
-            Branch::new(-0.5, d_sign * self.vref),
-        ]);
+        self.int2
+            .step(&[Branch::new(0.5, v1), Branch::new(-0.5, d_sign * self.vref)]);
         self.last_bit = bit;
         bit
     }
@@ -107,7 +105,9 @@ mod tests {
         for &x in &[0.0, 0.3, -0.6] {
             m.reset();
             let n = 40_000;
-            let sum: i64 = (0..n).map(|_| if m.step(x, true) { 1i64 } else { -1 }).sum();
+            let sum: i64 = (0..n)
+                .map(|_| if m.step(x, true) { 1i64 } else { -1 })
+                .sum();
             let mean = sum as f64 / n as f64;
             assert!((mean - x).abs() < 3e-3, "x={x}: {mean}");
         }
@@ -150,7 +150,9 @@ mod tests {
     fn polarity_control_works() {
         let mut m = SecondOrderModulator::new(Volts(1.0));
         let n = 40_000;
-        let sum: i64 = (0..n).map(|_| if m.step(0.4, false) { 1i64 } else { -1 }).sum();
+        let sum: i64 = (0..n)
+            .map(|_| if m.step(0.4, false) { 1i64 } else { -1 })
+            .sum();
         assert!((sum as f64 / n as f64 + 0.4).abs() < 3e-3);
     }
 
@@ -162,7 +164,9 @@ mod tests {
             3,
         );
         let n = 40_000;
-        let sum: i64 = (0..n).map(|_| if m.step(0.25, true) { 1i64 } else { -1 }).sum();
+        let sum: i64 = (0..n)
+            .map(|_| if m.step(0.25, true) { 1i64 } else { -1 })
+            .sum();
         assert!((sum as f64 / n as f64 - 0.25).abs() < 5e-3);
     }
 }

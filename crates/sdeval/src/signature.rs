@@ -71,21 +71,16 @@ impl Bounded {
     ///
     /// Panics if `other.lo <= 0`.
     pub fn ratio(&self, other: &Bounded) -> Bounded {
-        assert!(other.lo > 0.0, "interval division requires a positive divisor");
-        Bounded::new(
-            self.lo / other.hi,
-            self.est / other.est,
-            self.hi / other.lo,
-        )
+        assert!(
+            other.lo > 0.0,
+            "interval division requires a positive divisor"
+        );
+        Bounded::new(self.lo / other.hi, self.est / other.est, self.hi / other.lo)
     }
 
     /// Interval difference `self − other` — the phase-shift computation.
     pub fn minus(&self, other: &Bounded) -> Bounded {
-        Bounded::new(
-            self.lo - other.hi,
-            self.est - other.est,
-            self.hi - other.lo,
-        )
+        Bounded::new(self.lo - other.hi, self.est - other.est, self.hi - other.lo)
     }
 
     /// Maps through a monotonically increasing function.
@@ -167,11 +162,7 @@ pub fn phase_from_signatures(pair: &SignaturePair, c: Complex64) -> Bounded {
     let e = EPSILON_BOUND;
     // Does the ε-rectangle contain the origin?
     if pair.i1.abs() <= e && pair.i2.abs() <= e {
-        return Bounded::new(
-            est - std::f64::consts::PI,
-            est,
-            est + std::f64::consts::PI,
-        );
+        return Bounded::new(est - std::f64::consts::PI, est, est + std::f64::consts::PI);
     }
     let corners = [
         (pair.i1 - e, pair.i2 - e),

@@ -31,7 +31,11 @@ impl std::fmt::Display for SquareWaveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SquareWaveError::InvalidRatio { n, k } => {
-                write!(f, "oversampling ratio {n} is not a multiple of 8k = {}", 8 * k)
+                write!(
+                    f,
+                    "oversampling ratio {n} is not a multiple of 8k = {}",
+                    8 * k
+                )
             }
         }
     }
@@ -178,11 +182,7 @@ mod tests {
             let sq = QuadratureSquareWave::new(k, 96).unwrap();
             let delay = (96 / (4 * k)) as u64;
             for s in 0..192u64 {
-                assert_eq!(
-                    sq.quadrature(s + delay),
-                    sq.in_phase(s),
-                    "k={k}, s={s}"
-                );
+                assert_eq!(sq.quadrature(s + delay), sq.in_phase(s), "k={k}, s={s}");
             }
         }
     }

@@ -133,7 +133,9 @@ mod tests {
             assert!(spec.hd_dbc(h) < 0.0);
         }
         // SFDR equals the worst single harmonic.
-        let worst = (2..=5).map(|h| spec.hd_dbc(h)).fold(f64::NEG_INFINITY, f64::max);
+        let worst = (2..=5)
+            .map(|h| spec.hd_dbc(h))
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!((spec.sfdr_db() + worst).abs() < 1e-9);
     }
 

@@ -51,7 +51,10 @@ impl CapacitorArray {
     ///
     /// Panics if `k` is 0 or greater than 4.
     pub fn weight(&self, k: usize) -> f64 {
-        assert!((1..=ARRAY_SIZE).contains(&k), "capacitor index {k} out of 1..=4");
+        assert!(
+            (1..=ARRAY_SIZE).contains(&k),
+            "capacitor index {k} out of 1..=4"
+        );
         self.lot.value(k - 1)
     }
 

@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn amplitude_gain_matches_paper_factor_two() {
         let g = GeneratorBiquad::amplitude_gain();
-        assert!((g - 2.0).abs() < 0.1, "gain {g} should be ≈2 (paper Fig. 8a)");
+        assert!(
+            (g - 2.0).abs() < 0.1,
+            "gain {g} should be ≈2 (paper Fig. 8a)"
+        );
     }
 
     #[test]
@@ -226,7 +229,10 @@ mod tests {
         // the biquad must attenuate them strongly.
         let h_res = GeneratorBiquad::frequency_response(2.0 * PI / 32.0).abs();
         let h_image = GeneratorBiquad::frequency_response(15.0 * 2.0 * PI / 32.0).abs();
-        assert!(h_image < h_res / 50.0, "image rejection too weak: {h_image}");
+        assert!(
+            h_image < h_res / 50.0,
+            "image rejection too weak: {h_image}"
+        );
     }
 
     #[test]
@@ -270,7 +276,10 @@ mod tests {
                 late_peak = late_peak.max(v);
             }
         }
-        assert!(late_peak < early_peak / 100.0, "{late_peak} vs {early_peak}");
+        assert!(
+            late_peak < early_peak / 100.0,
+            "{late_peak} vs {early_peak}"
+        );
     }
 
     #[test]

@@ -274,11 +274,7 @@ mod tests {
     fn mismatched_generator_is_reproducible() {
         let clk = MasterClock::from_hz(6.0e6);
         let mk = || {
-            let mut g = SinewaveGenerator::new(GeneratorConfig::cmos_035um(
-                clk,
-                Volts(0.25),
-                7,
-            ));
+            let mut g = SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), 7));
             g.settle(10);
             g.waveform_at_feva(96)
         };

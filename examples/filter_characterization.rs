@@ -12,7 +12,9 @@ use netan::{bode_csv, AnalyzerConfig, NetworkAnalyzer};
 
 fn main() -> Result<(), netan::NetanError> {
     // A "populated board": the nominal 1 kHz filter built from 1 % parts.
-    let device = ActiveRcFilter::paper_dut().linearized().fabricate(0.01, 2024);
+    let device = ActiveRcFilter::paper_dut()
+        .linearized()
+        .fabricate(0.01, 2024);
     eprintln!(
         "DUT as fabricated: f0 = {:.1} Hz, Q = {:.4}",
         device.f0().value(),

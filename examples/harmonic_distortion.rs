@@ -31,10 +31,7 @@ fn main() -> Result<(), netan::NetanError> {
 
     // --- Commercial oscilloscope reference ------------------------------
     let clk = MasterClock::for_stimulus(f_test);
-    let mut board = DemoBoard::new(
-        GeneratorConfig::ideal(clk, Volts(0.2)),
-        &device,
-    );
+    let mut board = DemoBoard::new(GeneratorConfig::ideal(clk, Volts(0.2)), &device);
     board.set_path(SignalPath::Dut);
     board.warm_up(40);
     let scope = DigitalOscilloscope::wavesurfer();

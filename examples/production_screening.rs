@@ -24,7 +24,9 @@ fn main() -> Result<(), netan::NetanError> {
     println!("-------+---------+--------+----------");
     for seed in 0..lots {
         // 5 % parts: some devices will genuinely violate the mask.
-        let device = ActiveRcFilter::paper_dut().linearized().fabricate(0.05, seed);
+        let device = ActiveRcFilter::paper_dut()
+            .linearized()
+            .fabricate(0.05, seed);
         let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal());
         let plot = analyzer.sweep(&freqs)?;
         let verdict = mask.classify(plot.points());
@@ -40,6 +42,8 @@ fn main() -> Result<(), netan::NetanError> {
         );
     }
 
-    println!("\nyield: {pass}/{lots} pass, {fail} fail, {ambiguous} ambiguous (re-test with larger M)");
+    println!(
+        "\nyield: {pass}/{lots} pass, {fail} fail, {ambiguous} ambiguous (re-test with larger M)"
+    );
     Ok(())
 }

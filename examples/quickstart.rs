@@ -17,7 +17,10 @@ fn main() -> Result<(), netan::NetanError> {
 
     // Calibrate once over the bypass path: characterizes the stimulus.
     let cal = analyzer.calibrate()?;
-    println!("stimulus: {} V (phase {:.4} rad)\n", cal.amplitude, cal.phase.est);
+    println!(
+        "stimulus: {} V (phase {:.4} rad)\n",
+        cal.amplitude, cal.phase.est
+    );
 
     // Sweep a short log grid. The master clock is retuned per point so the
     // oversampling ratio N = 96 never changes.
@@ -26,7 +29,10 @@ fn main() -> Result<(), netan::NetanError> {
 
     println!("{}", bode_table(&plot));
     if let Some(fc) = plot.cutoff_frequency() {
-        println!("measured -3 dB cut-off: {:.1} Hz (nominal 1000 Hz)", fc.value());
+        println!(
+            "measured -3 dB cut-off: {:.1} Hz (nominal 1000 Hz)",
+            fc.value()
+        );
     }
     println!(
         "worst |gain error| vs analytic: {:.3} dB; enclosure coverage: {:.0} %",

@@ -101,7 +101,9 @@ fn distortion_mode_agrees_with_scope() {
     let f_test = Hertz(1600.0);
 
     // Analyzer path.
-    let cfg = AnalyzerConfig::ideal().with_periods(400).with_va_diff(Volts(0.2));
+    let cfg = AnalyzerConfig::ideal()
+        .with_periods(400)
+        .with_va_diff(Volts(0.2));
     let mut analyzer = NetworkAnalyzer::new(&device, cfg);
     let report = netan::DistortionReport::new(analyzer.measure_harmonics(f_test, 3).unwrap());
 

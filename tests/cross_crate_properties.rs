@@ -181,9 +181,8 @@ mod mixsig_properties {
     use proptest::prelude::*;
 
     fn small_matrix() -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-1.0..1.0f64, 9).prop_map(|v| {
-            Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]])
-        })
+        proptest::collection::vec(-1.0..1.0f64, 9)
+            .prop_map(|v| Matrix::from_rows(&[&v[0..3], &v[3..6], &v[6..9]]))
     }
 
     proptest! {

@@ -29,8 +29,7 @@ fn dynamic_range_70db_at_20khz() {
     // N = 96 normalized frequency the analyzer uses at f_wave = 20 kHz.
     // With enough evaluation periods the evaluator must both detect it and
     // bound it away from zero.
-    let a_small = 1.0e-70f64.powf(1.0 / 20.0); // == 10^(-70/20)
-    let a_small = a_small.max(10f64.powf(-70.0 / 20.0));
+    let a_small = 10f64.powf(-70.0 / 20.0);
     let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
     let mut src = tone_source(1.0 / 96.0, a_small, 0.4);
     let m = ev.measure_harmonic(&mut src, 1, 40_000).unwrap();
@@ -80,8 +79,7 @@ fn fig8a_amplitude_programming() {
     assert_eq!(clk.stimulus_frequency().value(), 62_500.0);
     let mut amplitudes = Vec::new();
     for va in [0.150, 0.250, 0.300] {
-        let mut generator =
-            SinewaveGenerator::new(GeneratorConfig::ideal(clk, Volts(va)));
+        let mut generator = SinewaveGenerator::new(GeneratorConfig::ideal(clk, Volts(va)));
         generator.settle(40);
         let w = generator.waveform_at_feva(96 * 16);
         let (a, _) = dsp::goertzel::tone_amplitude_phase(&w, 1.0 / 96.0);
@@ -101,11 +99,8 @@ fn fig8b_generator_purity_with_cmos_nonidealities() {
     let mut thd_sum = 0.0;
     let seeds = 4u64;
     for seed in 0..seeds {
-        let mut generator = SinewaveGenerator::new(GeneratorConfig::cmos_035um(
-            clk,
-            Volts(0.25),
-            seed,
-        ));
+        let mut generator =
+            SinewaveGenerator::new(GeneratorConfig::cmos_035um(clk, Volts(0.25), seed));
         let spec = GeneratorSpectrum::measure(&mut generator, 64, 8);
         sfdr_sum += spec.sfdr_db();
         thd_sum += spec.thd_db();
@@ -154,8 +149,7 @@ fn audio_range_sweep_all_points_valid() {
     use dut::ActiveRcFilter;
     use netan::{AnalyzerConfig, NetworkAnalyzer};
     let device = ActiveRcFilter::paper_dut().linearized();
-    let mut analyzer =
-        NetworkAnalyzer::new(&device, AnalyzerConfig::ideal().with_periods(50));
+    let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal().with_periods(50));
     let freqs = netan::log_spaced(Hertz(100.0), Hertz(20_000.0), 7);
     let plot = analyzer.sweep(&freqs).unwrap();
     for p in plot.points() {
