@@ -1,0 +1,96 @@
+//! Serial vs. parallel Monte-Carlo lot characterization: the wall-clock
+//! case for the `LotEngine`. Whole devices are independent simulations,
+//! so on an `n`-core machine the device-level fan-out should approach
+//! `n×`; calibration is amortized to one run per configuration either
+//! way. Reports are asserted bit-identical before any timing is printed.
+//!
+//! Run with `cargo bench --bench lot`; `cargo bench --bench lot --
+//! --smoke` runs a reduced lot (CI exercises the parallel paths under
+//! `--release` with it).
+
+use std::time::{Duration, Instant};
+
+use dut::ActiveRcFilter;
+use netan::{AnalyzerConfig, GainMask, LotEngine, LotPlan, LotReport};
+
+fn timed_run(
+    engine: &LotEngine,
+    seeds: &[u64],
+    plan: &LotPlan,
+    config: AnalyzerConfig,
+) -> (LotReport, Duration) {
+    let factory = |seed: u64| {
+        ActiveRcFilter::paper_dut()
+            .linearized()
+            .fabricate(0.05, seed)
+    };
+    let start = Instant::now();
+    let report = engine
+        .run(factory, seeds, plan, config)
+        .expect("lot run failed");
+    (report, start.elapsed())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (lot_size, periods) = if smoke { (6u64, 50u32) } else { (24, 200) };
+    let label = if smoke { "smoke" } else { "full" };
+
+    let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+    let config = AnalyzerConfig::ideal().with_periods(periods);
+    let seeds: Vec<u64> = (0..lot_size).collect();
+
+    let serial_engine = LotEngine::serial();
+    let parallel_engine = LotEngine::auto();
+
+    // Warm-up pass (page in code paths, steady-state CPU clocks).
+    let _ = timed_run(&serial_engine, &seeds[..2], &plan, config);
+
+    // Best of two runs per engine: a single wall-clock sample on a noisy
+    // shared runner is not a measurement.
+    let (serial_report, serial_time_a) = timed_run(&serial_engine, &seeds, &plan, config);
+    let (parallel_report, parallel_time_a) = timed_run(&parallel_engine, &seeds, &plan, config);
+    let (_, serial_time_b) = timed_run(&serial_engine, &seeds, &plan, config);
+    let (_, parallel_time_b) = timed_run(&parallel_engine, &seeds, &plan, config);
+    let serial_time = serial_time_a.min(serial_time_b);
+    let parallel_time = parallel_time_a.min(parallel_time_b);
+
+    assert_eq!(
+        serial_report, parallel_report,
+        "parallel lot diverged from the serial reference"
+    );
+
+    let points = seeds.len() * plan.grid().len();
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
+    println!(
+        "lot_{label}/{lot_size}_devices_{points}_points  serial   {serial_time:>12?}   (1 worker)"
+    );
+    println!(
+        "lot_{label}/{lot_size}_devices_{points}_points  parallel {parallel_time:>12?}   ({} workers)",
+        parallel_engine.threads()
+    );
+    println!(
+        "lot_{label}/{lot_size}_devices_{points}_points  speedup  {speedup:.2}x   (reports bit-identical: yes)"
+    );
+    println!(
+        "lot_{label} throughput: {:.1} devices/s parallel vs {:.1} devices/s serial",
+        seeds.len() as f64 / parallel_time.as_secs_f64().max(1e-12),
+        seeds.len() as f64 / serial_time.as_secs_f64().max(1e-12),
+    );
+    // On a multi-core machine the full-size device fan-out must actually
+    // pay. Single-core runners are tolerated (the pool degenerates to the
+    // serial path), and smoke mode only warns: its ~20 ms workload on a
+    // contended CI runner is too small to gate on — there the
+    // bit-identity assert above is the signal.
+    if parallel_engine.threads() > 1 && speedup <= 1.0 {
+        let diagnosis = format!(
+            "no speedup with {} workers (best-of-2 timings: serial {serial_time:?}, parallel {parallel_time:?})",
+            parallel_engine.threads()
+        );
+        if smoke {
+            eprintln!("warning: {diagnosis}");
+        } else {
+            panic!("{diagnosis}");
+        }
+    }
+}

@@ -180,7 +180,7 @@ impl<'d> NetworkAnalyzer<'d> {
     }
 
     /// Rejects NaN and non-positive stimulus frequencies.
-    fn validate_frequency(f_wave: Hertz) -> Result<(), NetanError> {
+    pub(crate) fn validate_frequency(f_wave: Hertz) -> Result<(), NetanError> {
         if f_wave.value().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(NetanError::InvalidFrequency {
                 hz_millis: (f_wave.value() * 1000.0) as i64,
@@ -323,11 +323,32 @@ impl<'d> NetworkAnalyzer<'d> {
         f_wave: Hertz,
         max_harmonic: u32,
     ) -> Result<Vec<HarmonicMeasurement>, NetanError> {
-        let mut results = Vec::new();
-        for k in 1..=max_harmonic {
-            results.push(self.measure_path(f_wave, k, SignalPath::Dut)?);
-        }
-        Ok(results)
+        self.measure_harmonics_with(&SweepEngine::serial(), f_wave, max_harmonic)
+    }
+
+    /// Like [`measure_harmonics`](Self::measure_harmonics), but fans the
+    /// independent per-`k` acquisitions across `engine`'s worker pool —
+    /// distortion screening rides the same work-stealing loop as the Bode
+    /// sweep. Results come back ordered `k = 1..=max_harmonic` and are
+    /// bit-identical to the serial path; on failure the lowest-`k` error
+    /// is reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::InvalidFrequency`] for non-positive
+    /// frequencies and propagates evaluator setup errors.
+    pub fn measure_harmonics_with(
+        &self,
+        engine: &SweepEngine,
+        f_wave: Hertz,
+        max_harmonic: u32,
+    ) -> Result<Vec<HarmonicMeasurement>, NetanError> {
+        Self::validate_frequency(f_wave)?;
+        crate::pool::map_indexed(engine.threads(), max_harmonic as usize, |i| {
+            self.measure_path(f_wave, i as u32 + 1, SignalPath::Dut)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// One full acquisition over the requested path.

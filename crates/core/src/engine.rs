@@ -16,13 +16,13 @@
 //!
 //! Workers pull point indices from a shared atomic counter (work
 //! stealing), so an expensive point — a slow-settling DUT, a high-`M`
-//! profile — does not stall the points behind it.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! profile — does not stall the points behind it. The sizing rule and the
+//! work-stealing loop itself live in [`crate::pool`], shared with the
+//! lot-level [`LotEngine`](crate::LotEngine).
 
 use crate::analyzer::{BodePoint, Calibration, NetworkAnalyzer};
 use crate::error::NetanError;
+use crate::pool;
 use mixsig::units::Hertz;
 
 /// Schedules batched Bode-point measurements over a worker pool.
@@ -56,10 +56,9 @@ impl SweepEngine {
     /// An engine sized to the machine's available parallelism (1 if that
     /// cannot be determined).
     pub fn auto() -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self { threads }
+        Self {
+            threads: pool::auto_threads(),
+        }
     }
 
     /// An engine with an explicit worker count (clamped to at least 1).
@@ -91,42 +90,14 @@ impl SweepEngine {
         if frequencies.is_empty() {
             return Err(NetanError::EmptySweep);
         }
-        let workers = self.threads.min(frequencies.len());
-        if workers <= 1 {
-            // Buffer every outcome before surfacing one, so the serial
-            // path honours the same attempt-all / lowest-index-error
-            // contract as the worker pool.
-            let results: Vec<Result<BodePoint, NetanError>> = frequencies
-                .iter()
-                .map(|&f| analyzer.measure_point_calibrated(cal, f))
-                .collect();
-            return results.into_iter().collect();
-        }
-
-        // Indexed result slots keep request order independent of
-        // completion order; the atomic cursor steals work point-by-point.
-        let slots: Mutex<Vec<Option<Result<BodePoint, NetanError>>>> =
-            Mutex::new(vec![None; frequencies.len()]);
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&f) = frequencies.get(i) else {
-                        break;
-                    };
-                    let result = analyzer.measure_point_calibrated(cal, f);
-                    slots.lock().expect("sweep slot lock poisoned")[i] = Some(result);
-                });
-            }
-        });
-
-        slots
-            .into_inner()
-            .expect("sweep slot lock poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("worker pool covered every index"))
-            .collect()
+        // Every outcome is buffered before one is surfaced, so serial and
+        // parallel schedules honour the same attempt-all /
+        // lowest-index-error contract.
+        pool::map_indexed(self.threads, frequencies.len(), |i| {
+            analyzer.measure_point_calibrated(cal, frequencies[i])
+        })
+        .into_iter()
+        .collect()
     }
 }
 

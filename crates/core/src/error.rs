@@ -9,10 +9,19 @@ pub enum NetanError {
     Eval(EvalError),
     /// A sweep was requested with no frequency points.
     EmptySweep,
+    /// A lot run was requested with no device seeds.
+    EmptyLot,
     /// The requested stimulus frequency is not positive.
     InvalidFrequency {
         /// The offending frequency in hertz.
         hz_millis: i64,
+    },
+    /// A fabricated device's nominal response is non-finite at a plan
+    /// frequency (e.g. a mismatch draw produced a NaN pole), so it cannot
+    /// be simulated.
+    DeviceNotSimulable {
+        /// Monte-Carlo seed of the offending device.
+        seed: u64,
     },
 }
 
@@ -21,6 +30,13 @@ impl std::fmt::Display for NetanError {
         match self {
             NetanError::Eval(e) => write!(f, "evaluator error: {e}"),
             NetanError::EmptySweep => write!(f, "sweep needs at least one frequency point"),
+            NetanError::EmptyLot => write!(f, "lot needs at least one device seed"),
+            NetanError::DeviceNotSimulable { seed } => {
+                write!(
+                    f,
+                    "device with seed {seed} has a non-finite nominal response and cannot be simulated"
+                )
+            }
             NetanError::InvalidFrequency { hz_millis } => {
                 write!(
                     f,
@@ -58,6 +74,10 @@ mod tests {
         assert!(NetanError::EmptySweep.to_string().contains("at least one"));
         let f = NetanError::InvalidFrequency { hz_millis: -1500 };
         assert!(f.to_string().contains("-1.5"));
+        assert!(NetanError::EmptyLot.to_string().contains("device seed"));
+        let d = NetanError::DeviceNotSimulable { seed: 17 };
+        assert!(d.to_string().contains("17"));
+        assert!(d.to_string().contains("non-finite"));
     }
 
     #[test]

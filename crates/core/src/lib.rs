@@ -17,7 +17,14 @@
 //! * a **frequency sweep** planner (log grid, constant `N`),
 //! * a **parallel sweep engine** ([`SweepEngine`]) that fans independent
 //!   sweep points out across worker threads with bit-identical results,
-//! * a **harmonic distortion** mode (paper Fig. 10c).
+//! * a **parallel lot engine** ([`LotEngine`]) that fans whole
+//!   Monte-Carlo devices across the same worker-pool primitive with a
+//!   shared, amortized calibration — the paper's production-screening
+//!   scenario at throughput,
+//! * a **harmonic distortion** mode (paper Fig. 10c), serial or parallel
+//!   per harmonic,
+//! * **report sinks**: tables, CSV and JSON for Bode plots and lot
+//!   screening reports.
 //!
 //! # Example
 //!
@@ -38,7 +45,9 @@ pub mod analyzer;
 pub mod engine;
 pub mod error;
 pub mod harmonics;
+pub mod lot;
 pub mod plan;
+pub mod pool;
 pub mod report;
 pub mod spec;
 pub mod sweep;
@@ -47,10 +56,11 @@ pub use analyzer::{AnalyzerConfig, BodePoint, Calibration, HardwareProfile, Netw
 pub use engine::SweepEngine;
 pub use error::NetanError;
 pub use harmonics::DistortionReport;
+pub use lot::{DeviceReport, LotEngine, LotPlan, LotReport, VerdictCounts};
 pub use plan::{plan_measurement, TestPlan};
-pub use report::{bode_csv, bode_table, distortion_table};
+pub use report::{bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_table};
 pub use spec::{GainMask, MaskPoint, SpecVerdict};
-pub use sweep::{log_spaced, BodePlot};
+pub use sweep::{log_spaced, BodePlot, LowpassFit};
 
 // Re-export the building blocks users need at the API surface.
 pub use sdeval::Bounded;

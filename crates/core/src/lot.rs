@@ -1,0 +1,485 @@
+//! Parallel Monte-Carlo lot characterization — the paper's production
+//! screening scenario at throughput.
+//!
+//! The motivating use of an *on-chip* network analyzer is go/no-go
+//! screening of fabricated devices without an external ATE. A lot run
+//! characterizes many Monte-Carlo devices (`factory(seed)` for each seed)
+//! against one sweep plan and one gain mask:
+//!
+//! * **whole devices** are fanned across a [`std::thread::scope`] worker
+//!   pool (the same atomic-cursor work stealing as the point-level
+//!   [`SweepEngine`], via [`crate::pool`]);
+//! * **calibration is amortized**: the bypass path taps the stimulus
+//!   *before* the DUT, so the stimulus characterization depends only on
+//!   the analyzer configuration — it is computed once and shared
+//!   read-only across every device instead of being redone per seed;
+//! * each worker can optionally run its device's sweep points through a
+//!   nested per-device [`SweepEngine`]
+//!   ([`LotEngine::with_point_engine`]);
+//! * results are **bit-identical** to the serial reference: device order
+//!   is seed order, every per-device simulation is seeded, and on failure
+//!   the lowest-index device error is reported exactly as a serial
+//!   in-order run would report it.
+//!
+//! The run produces a [`LotReport`]: per-device [`BodePlot`] +
+//! [`SpecVerdict`] + fitted f0/Q summary, plus the lot-level verdict
+//! histogram and yield estimate. Render it with
+//! [`lot_table`](crate::report::lot_table),
+//! [`lot_csv`](crate::report::lot_csv) or
+//! [`lot_json`](crate::report::lot_json).
+
+use crate::analyzer::{AnalyzerConfig, BodePoint, Calibration, NetworkAnalyzer};
+use crate::engine::SweepEngine;
+use crate::error::NetanError;
+use crate::pool;
+use crate::spec::{GainMask, SpecVerdict};
+use crate::sweep::{unwrap_phase_by_continuity, BodePlot, LowpassFit};
+use dut::{Bypass, Dut};
+use mixsig::units::Hertz;
+
+/// A lot screening plan: the sweep grid and the gain mask to classify
+/// against.
+///
+/// The effective grid is the union of the requested grid and the mask
+/// frequencies, sorted ascending and deduplicated, so every mask point is
+/// always measured and the phase-unwrap pass sees an ordered sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LotPlan {
+    grid: Vec<Hertz>,
+    mask: GainMask,
+    /// For each mask point, the index of its frequency in `grid`.
+    mask_indices: Vec<usize>,
+}
+
+impl LotPlan {
+    /// Builds a plan from a sweep grid and a mask. Mask frequencies
+    /// missing from the grid are added; exact duplicates are merged.
+    pub fn new(grid: &[Hertz], mask: GainMask) -> Self {
+        let mut freqs: Vec<Hertz> = grid.to_vec();
+        freqs.extend(mask.frequencies());
+        freqs.sort_by(|a, b| a.value().total_cmp(&b.value()));
+        freqs.dedup_by_key(|f| f.value().to_bits());
+        let mask_indices = mask
+            .points()
+            .iter()
+            .map(|p| {
+                freqs
+                    .iter()
+                    .position(|f| f.value().to_bits() == p.frequency.value().to_bits())
+                    .expect("mask frequency present by construction")
+            })
+            .collect();
+        Self {
+            grid: freqs,
+            mask,
+            mask_indices,
+        }
+    }
+
+    /// A plan that measures exactly the mask frequencies — the minimal
+    /// go/no-go sweep.
+    pub fn from_mask(mask: GainMask) -> Self {
+        Self::new(&[], mask)
+    }
+
+    /// The effective sweep grid (ascending, deduplicated).
+    pub fn grid(&self) -> &[Hertz] {
+        &self.grid
+    }
+
+    /// The gain mask.
+    pub fn mask(&self) -> &GainMask {
+        &self.mask
+    }
+
+    /// Classifies a measured point set (in grid order) against the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len()` differs from the grid length.
+    pub fn classify(&self, points: &[BodePoint]) -> SpecVerdict {
+        assert_eq!(
+            points.len(),
+            self.grid.len(),
+            "measured points must match the plan grid"
+        );
+        let masked: Vec<BodePoint> = self.mask_indices.iter().map(|&i| points[i]).collect();
+        self.mask.classify(&masked)
+    }
+}
+
+/// One device's characterization within a lot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// The Monte-Carlo seed the device was fabricated from.
+    pub seed: u64,
+    /// The measured Bode plot over the plan grid.
+    pub plot: BodePlot,
+    /// Go/no-go verdict against the plan mask.
+    pub verdict: SpecVerdict,
+    /// Fitted second-order f0/Q summary (None when the response does not
+    /// fit a low-pass biquad).
+    pub fit: Option<LowpassFit>,
+}
+
+/// The lot-level verdict histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictCounts {
+    /// Devices entirely inside the mask.
+    pub pass: usize,
+    /// Devices entirely outside the mask at some point.
+    pub fail: usize,
+    /// Devices straddling a limit — re-test with a larger `M`.
+    pub ambiguous: usize,
+}
+
+impl VerdictCounts {
+    /// Total devices counted.
+    pub fn total(&self) -> usize {
+        self.pass + self.fail + self.ambiguous
+    }
+}
+
+/// The result of a lot run: per-device reports in seed order plus the
+/// mask they were screened against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LotReport {
+    mask: GainMask,
+    devices: Vec<DeviceReport>,
+}
+
+impl LotReport {
+    /// Assembles a report (device order is preserved).
+    pub fn new(mask: GainMask, devices: Vec<DeviceReport>) -> Self {
+        Self { mask, devices }
+    }
+
+    /// Per-device reports, in the seed order of the run.
+    pub fn devices(&self) -> &[DeviceReport] {
+        &self.devices
+    }
+
+    /// The mask the lot was screened against.
+    pub fn mask(&self) -> &GainMask {
+        &self.mask
+    }
+
+    /// Number of devices in the lot.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the lot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The pass/fail/ambiguous histogram.
+    pub fn counts(&self) -> VerdictCounts {
+        let mut c = VerdictCounts::default();
+        for d in &self.devices {
+            match d.verdict {
+                SpecVerdict::Pass => c.pass += 1,
+                SpecVerdict::Fail => c.fail += 1,
+                SpecVerdict::Ambiguous => c.ambiguous += 1,
+            }
+        }
+        c
+    }
+
+    /// Yield estimate as an interval: the lower bound counts only `Pass`
+    /// devices, the upper bound also grants every `Ambiguous` device —
+    /// the trichotomous verdicts make the yield itself an enclosure.
+    pub fn yield_bounds(&self) -> (f64, f64) {
+        let c = self.counts();
+        let total = c.total();
+        if total == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            c.pass as f64 / total as f64,
+            (c.pass + c.ambiguous) as f64 / total as f64,
+        )
+    }
+}
+
+/// Schedules whole-device characterizations over a worker pool.
+///
+/// # Example
+///
+/// ```
+/// use netan::{AnalyzerConfig, GainMask, LotEngine, LotPlan};
+/// use dut::ActiveRcFilter;
+///
+/// let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+/// let seeds: Vec<u64> = (0..4).collect();
+/// let report = LotEngine::auto().run(
+///     |seed| ActiveRcFilter::paper_dut().linearized().fabricate(0.02, seed),
+///     &seeds,
+///     &plan,
+///     AnalyzerConfig::ideal().with_periods(50),
+/// )?;
+/// assert_eq!(report.len(), 4);
+/// assert_eq!(report.counts().total(), 4);
+/// # Ok::<(), netan::NetanError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LotEngine {
+    device_threads: usize,
+    point_engine: SweepEngine,
+}
+
+impl LotEngine {
+    /// An engine that characterizes every device on the calling thread,
+    /// in seed order — the reference for bit-identity.
+    pub fn serial() -> Self {
+        Self {
+            device_threads: 1,
+            point_engine: SweepEngine::serial(),
+        }
+    }
+
+    /// An engine sized to the machine's available parallelism, with a
+    /// serial per-device point engine (devices usually outnumber cores,
+    /// so device-level fan-out alone saturates the pool).
+    pub fn auto() -> Self {
+        Self {
+            device_threads: pool::auto_threads(),
+            point_engine: SweepEngine::serial(),
+        }
+    }
+
+    /// An engine with an explicit device-level worker count (clamped to
+    /// at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            device_threads: threads.max(1),
+            point_engine: SweepEngine::serial(),
+        }
+    }
+
+    /// Returns the engine with a nested per-device sweep engine: each
+    /// device worker fans its own sweep points across `engine`'s workers.
+    /// Useful for small lots of expensive devices. Does not change the
+    /// result bits — point- and device-level schedules are both
+    /// deterministic.
+    #[must_use]
+    pub fn with_point_engine(mut self, engine: SweepEngine) -> Self {
+        self.point_engine = engine;
+        self
+    }
+
+    /// The device-level worker count.
+    pub fn threads(&self) -> usize {
+        self.device_threads
+    }
+
+    /// The nested per-device sweep engine.
+    pub fn point_engine(&self) -> &SweepEngine {
+        &self.point_engine
+    }
+
+    /// Characterizes `factory(seed)` for every seed against `plan`,
+    /// fanning devices across the worker pool. Calibration is performed
+    /// once for `config` and shared read-only by every device.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetanError::EmptyLot`] for an empty seed list,
+    /// * [`NetanError::EmptySweep`] for an empty plan grid,
+    /// * the lowest-index [`NetanError::InvalidFrequency`] if the grid
+    ///   contains a non-positive frequency (rejected before calibration
+    ///   or any simulation),
+    /// * [`NetanError::DeviceNotSimulable`] if a device's nominal
+    ///   response is non-finite at a plan frequency,
+    /// * per-device measurement errors, lowest seed index first.
+    pub fn run<D, F>(
+        &self,
+        factory: F,
+        seeds: &[u64],
+        plan: &LotPlan,
+        config: AnalyzerConfig,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        if seeds.is_empty() {
+            return Err(NetanError::EmptyLot);
+        }
+        if plan.grid().is_empty() {
+            return Err(NetanError::EmptySweep);
+        }
+        for &f in plan.grid() {
+            NetworkAnalyzer::validate_frequency(f)?;
+        }
+        let cal = Self::shared_calibration(config)?;
+        let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
+            self.characterize_device(&factory, seeds[i], plan, config, cal)
+        });
+        // Buffered results: the lowest-index error wins, as in a serial
+        // in-order run.
+        let devices = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(LotReport::new(plan.mask().clone(), devices))
+    }
+
+    /// The stimulus characterization shared by every device in a lot.
+    ///
+    /// The calibration bypass taps the generated stimulus *ahead* of the
+    /// DUT (paper Fig. 1 dashed path), so the measurement is independent
+    /// of which device sits on the board — one calibration per analyzer
+    /// configuration serves the whole lot, bit-identical to calibrating
+    /// per device.
+    pub fn shared_calibration(config: AnalyzerConfig) -> Result<Calibration, NetanError> {
+        NetworkAnalyzer::new(&Bypass, config).calibrate()
+    }
+
+    fn characterize_device<D, F>(
+        &self,
+        factory: &F,
+        seed: u64,
+        plan: &LotPlan,
+        config: AnalyzerConfig,
+        cal: Calibration,
+    ) -> Result<DeviceReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        let device = factory(seed);
+        // A pathological mismatch draw (e.g. a NaN or negative pole) would
+        // make the state-space discretization diverge; reject it cleanly
+        // before any simulation.
+        for &f in plan.grid() {
+            let r = device.ideal_response(f);
+            if !r.magnitude.is_finite() || !r.phase.is_finite() {
+                return Err(NetanError::DeviceNotSimulable { seed });
+            }
+        }
+        let analyzer = NetworkAnalyzer::new(&device, config);
+        let mut points = self.point_engine.measure(&analyzer, cal, plan.grid())?;
+        unwrap_phase_by_continuity(&mut points);
+        let plot = BodePlot::new(points);
+        let verdict = plan.classify(plot.points());
+        let fit = plot.fit_lowpass_biquad();
+        Ok(DeviceReport {
+            seed,
+            plot,
+            verdict,
+            fit,
+        })
+    }
+}
+
+impl Default for LotEngine {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dut::ActiveRcFilter;
+
+    fn paper_factory(sigma: f64) -> impl Fn(u64) -> ActiveRcFilter + Sync {
+        move |seed| {
+            ActiveRcFilter::paper_dut()
+                .linearized()
+                .fabricate(sigma, seed)
+        }
+    }
+
+    fn quick_config() -> AnalyzerConfig {
+        AnalyzerConfig::ideal().with_periods(50)
+    }
+
+    #[test]
+    fn engine_constructors_resolve() {
+        assert_eq!(LotEngine::serial().threads(), 1);
+        assert_eq!(LotEngine::with_threads(0).threads(), 1);
+        assert_eq!(LotEngine::with_threads(6).threads(), 6);
+        assert!(LotEngine::auto().threads() >= 1);
+        assert_eq!(LotEngine::default(), LotEngine::auto());
+        let nested = LotEngine::with_threads(2).with_point_engine(SweepEngine::with_threads(3));
+        assert_eq!(nested.point_engine().threads(), 3);
+    }
+
+    #[test]
+    fn plan_unions_grid_and_mask() {
+        let mask = GainMask::paper_lowpass();
+        let plan = LotPlan::new(&[Hertz(300.0), Hertz(1000.0), Hertz(300.0)], mask.clone());
+        // 300 Hz deduplicated, 1 kHz merged with the mask's own 1 kHz.
+        let values: Vec<f64> = plan.grid().iter().map(|f| f.value()).collect();
+        assert_eq!(values, vec![200.0, 300.0, 500.0, 1000.0, 10_000.0]);
+        assert_eq!(plan.mask(), &mask);
+        let minimal = LotPlan::from_mask(GainMask::paper_lowpass());
+        assert_eq!(minimal.grid().len(), 4);
+    }
+
+    #[test]
+    fn empty_lot_and_empty_plan_rejected() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let engine = LotEngine::serial();
+        assert_eq!(
+            engine
+                .run(paper_factory(0.0), &[], &plan, quick_config())
+                .unwrap_err(),
+            NetanError::EmptyLot
+        );
+        let empty_plan = LotPlan::from_mask(GainMask::new());
+        assert_eq!(
+            engine
+                .run(paper_factory(0.0), &[1], &empty_plan, quick_config())
+                .unwrap_err(),
+            NetanError::EmptySweep
+        );
+    }
+
+    #[test]
+    fn invalid_grid_frequency_rejected_before_simulation() {
+        let plan = LotPlan::new(
+            &[Hertz(-5.0)],
+            GainMask::new().with_point(crate::spec::MaskPoint::new(Hertz(1000.0), -4.5, -1.5)),
+        );
+        let err = LotEngine::serial()
+            .run(paper_factory(0.0), &[0, 1], &plan, quick_config())
+            .unwrap_err();
+        assert_eq!(err, NetanError::InvalidFrequency { hz_millis: -5000 });
+    }
+
+    #[test]
+    fn nominal_lot_passes_and_fits() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds = [0u64, 1, 2];
+        let report = LotEngine::with_threads(3)
+            .run(paper_factory(0.01), &seeds, &plan, quick_config())
+            .unwrap();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.counts().total(), 3);
+        let (ylo, yhi) = report.yield_bounds();
+        assert!(0.0 <= ylo && ylo <= yhi && yhi <= 1.0);
+        for (d, &seed) in report.devices().iter().zip(&seeds) {
+            assert_eq!(d.seed, seed);
+            assert_eq!(d.plot.len(), plan.grid().len());
+            // The fitted summary must track the fabricated device.
+            let device = paper_factory(0.01)(seed);
+            let fit = d.fit.expect("low-pass fit");
+            // M = 50 keeps the test fast at the price of wider stopband
+            // estimate error, so this is a tracking check, not a
+            // precision check (the analytic-fit tests in `sweep` cover
+            // precision).
+            let rel_f0 = (fit.f0.value() - device.f0().value()).abs() / device.f0().value();
+            assert!(rel_f0 < 0.04, "seed {seed}: fit {fit:?} vs {}", device.f0());
+            let rel_q = (fit.q - device.q()).abs() / device.q();
+            assert!(rel_q < 0.15, "seed {seed}: fit {fit:?} vs Q {}", device.q());
+        }
+    }
+
+    #[test]
+    fn yield_bounds_of_empty_report() {
+        let report = LotReport::new(GainMask::new(), Vec::new());
+        assert!(report.is_empty());
+        assert_eq!(report.yield_bounds(), (0.0, 0.0));
+    }
+}

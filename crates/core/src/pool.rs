@@ -1,0 +1,116 @@
+//! The shared worker pool: pool sizing and the atomic-cursor
+//! work-stealing loop used by every parallel engine in this crate.
+//!
+//! [`SweepEngine`](crate::SweepEngine) fans sweep *points* across workers,
+//! [`LotEngine`](crate::LotEngine) fans whole *devices*, and the parallel
+//! harmonics path fans per-`k` acquisitions — all three are instances of
+//! the same schedule: `len` independent jobs, indexed `0..len`, pulled
+//! from a shared atomic cursor by `workers` scoped threads, with results
+//! written into indexed slots so the output order matches the input order
+//! regardless of completion order.
+//!
+//! Keeping the loop here (instead of one copy per engine) is what makes
+//! the determinism argument auditable: there is exactly one scheduling
+//! primitive to reason about.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (1 if it cannot be determined) —
+/// the sizing rule behind every engine's `auto()` constructor.
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `job(i)` for every `i in 0..len` across a pool of `workers`
+/// scoped threads and returns the results in index order.
+///
+/// * `workers` is clamped to `1..=len`; a single worker (or a single job)
+///   degenerates to a plain in-order loop on the calling thread without
+///   spawning at all.
+/// * Workers steal indices from a shared atomic cursor, so one expensive
+///   job does not stall the jobs behind it.
+/// * Results come back in index order — never completion order — so a
+///   deterministic `job` makes the parallel map bit-identical to the
+///   serial one.
+///
+/// Every job is attempted; fallible callers collect the `Result`s and
+/// surface the lowest-index error, matching what a serial in-order run
+/// would report.
+pub fn map_indexed<T, F>(workers: usize, len: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, len);
+    if workers == 1 {
+        return (0..len).map(job).collect();
+    }
+
+    // Indexed result slots keep output order independent of completion
+    // order; the atomic cursor steals work job-by-job.
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..len).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let value = job(i);
+                slots.lock().expect("pool slot lock poisoned")[i] = Some(value);
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("pool slot lock poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker pool covered every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_threads_is_at_least_one() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = map_indexed(4, 0, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_preserve_index_order() {
+        let serial: Vec<usize> = map_indexed(1, 100, |i| i * i);
+        for workers in [2, 4, 16, 200] {
+            let parallel: Vec<usize> = map_indexed(workers, 100, |i| i * i);
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let runs: Vec<AtomicU32> = (0..50).map(|_| AtomicU32::new(0)).collect();
+        let _: Vec<()> = map_indexed(8, 50, |i| {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+}

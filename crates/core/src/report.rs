@@ -1,7 +1,17 @@
-//! Text and CSV rendering of analyzer results.
+//! Text, CSV and JSON rendering of analyzer results.
+//!
+//! JSON documents are hand-rendered (the workspace builds fully offline,
+//! so there is no serde) and self-describing via a `"schema"` field:
+//! `netan.bode.v1` for [`bode_json`] and `netan.lot.v1` for [`lot_json`].
+//! Numbers use Rust's shortest round-trip `f64` formatting; non-finite
+//! values render as `null`.
 
+use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
+use crate::lot::LotReport;
+use crate::spec::SpecVerdict;
 use crate::sweep::BodePlot;
+use sdeval::Bounded;
 use std::fmt::Write as _;
 
 /// Renders a Bode plot as a human-readable table (the rows of paper
@@ -57,6 +67,203 @@ pub fn bode_csv(plot: &BodePlot) -> String {
             p.ideal_phase_deg,
         );
     }
+    out
+}
+
+fn verdict_str(v: SpecVerdict) -> &'static str {
+    match v {
+        SpecVerdict::Pass => "pass",
+        SpecVerdict::Fail => "fail",
+        SpecVerdict::Ambiguous => "ambiguous",
+    }
+}
+
+/// Renders a lot report as a human-readable screening table: one row per
+/// device plus the verdict histogram and the yield enclosure.
+pub fn lot_table(report: &LotReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>8} {:>16}",
+        "seed", "verdict", "fit f0 (Hz)", "fit Q", "worst |dG| (dB)"
+    );
+    for d in report.devices() {
+        let (f0, q) = match d.fit {
+            Some(fit) => (format!("{:.1}", fit.f0.value()), format!("{:.4}", fit.q)),
+            None => (String::from("-"), String::from("-")),
+        };
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>8} {:>16.3}",
+            d.seed,
+            verdict_str(d.verdict),
+            f0,
+            q,
+            d.plot.worst_gain_error_db(),
+        );
+    }
+    let c = report.counts();
+    let (ylo, yhi) = report.yield_bounds();
+    let _ = writeln!(
+        out,
+        "lot: {} devices — {} pass, {} fail, {} ambiguous (re-test with larger M)",
+        c.total(),
+        c.pass,
+        c.fail,
+        c.ambiguous
+    );
+    let _ = writeln!(out, "yield: [{:.1}%, {:.1}%]", 100.0 * ylo, 100.0 * yhi);
+    out
+}
+
+/// Renders a lot report as CSV with a header row: one row per device,
+/// seven columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q, cutoff_hz,
+/// worst_gain_err_db`); missing fit/cutoff fields render empty.
+pub fn lot_csv(report: &LotReport) -> String {
+    let mut out =
+        String::from("seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db\n");
+    for d in report.devices() {
+        let (gain, f0, q) = match d.fit {
+            Some(fit) => (
+                fit.gain.to_string(),
+                fit.f0.value().to_string(),
+                fit.q.to_string(),
+            ),
+            None => (String::new(), String::new(), String::new()),
+        };
+        let cutoff = d
+            .plot
+            .cutoff_frequency()
+            .map(|f| f.value().to_string())
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            d.seed,
+            verdict_str(d.verdict),
+            gain,
+            f0,
+            q,
+            cutoff,
+            d.plot.worst_gain_error_db(),
+        );
+    }
+    out
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_bounded(out: &mut String, b: &Bounded) {
+    out.push_str("{\"lo\":");
+    json_f64(out, b.lo);
+    out.push_str(",\"est\":");
+    json_f64(out, b.est);
+    out.push_str(",\"hi\":");
+    json_f64(out, b.hi);
+    out.push('}');
+}
+
+fn json_bode_point(out: &mut String, p: &BodePoint) {
+    out.push_str("{\"freq_hz\":");
+    json_f64(out, p.frequency.value());
+    out.push_str(",\"gain_db\":");
+    json_bounded(out, &p.gain_db);
+    out.push_str(",\"phase_deg\":");
+    json_bounded(out, &p.phase_deg);
+    out.push_str(",\"ideal_gain_db\":");
+    json_f64(out, p.ideal_gain_db);
+    out.push_str(",\"ideal_phase_deg\":");
+    json_f64(out, p.ideal_phase_deg);
+    out.push('}');
+}
+
+fn json_points(out: &mut String, points: &[BodePoint]) {
+    out.push('[');
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_bode_point(out, p);
+    }
+    out.push(']');
+}
+
+/// Renders a Bode plot as a JSON document (schema `netan.bode.v1`).
+pub fn bode_json(plot: &BodePlot) -> String {
+    let mut out = String::from("{\"schema\":\"netan.bode.v1\",\"points\":");
+    json_points(&mut out, plot.points());
+    out.push('}');
+    out
+}
+
+/// Renders a lot report as a JSON document (schema `netan.lot.v1`): the
+/// mask, the verdict histogram, the yield enclosure, and per-device
+/// verdict + f0/Q fit + full point set.
+pub fn lot_json(report: &LotReport) -> String {
+    let mut out = String::from("{\"schema\":\"netan.lot.v1\",\"mask\":[");
+    for (i, m) in report.mask().points().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"freq_hz\":");
+        json_f64(&mut out, m.frequency.value());
+        out.push_str(",\"min_db\":");
+        json_f64(&mut out, m.min_db);
+        out.push_str(",\"max_db\":");
+        json_f64(&mut out, m.max_db);
+        out.push('}');
+    }
+    let c = report.counts();
+    let _ = write!(
+        out,
+        "],\"counts\":{{\"pass\":{},\"fail\":{},\"ambiguous\":{}}}",
+        c.pass, c.fail, c.ambiguous
+    );
+    let (ylo, yhi) = report.yield_bounds();
+    out.push_str(",\"yield\":{\"lo\":");
+    json_f64(&mut out, ylo);
+    out.push_str(",\"hi\":");
+    json_f64(&mut out, yhi);
+    out.push_str("},\"devices\":[");
+    for (i, d) in report.devices().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"verdict\":\"{}\"",
+            d.seed,
+            verdict_str(d.verdict)
+        );
+        out.push_str(",\"fit\":");
+        match d.fit {
+            Some(fit) => {
+                out.push_str("{\"gain\":");
+                json_f64(&mut out, fit.gain);
+                out.push_str(",\"f0_hz\":");
+                json_f64(&mut out, fit.f0.value());
+                out.push_str(",\"q\":");
+                json_f64(&mut out, fit.q);
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"cutoff_hz\":");
+        match d.plot.cutoff_frequency() {
+            Some(f) => json_f64(&mut out, f.value()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"points\":");
+        json_points(&mut out, d.plot.points());
+        out.push('}');
+    }
+    out.push_str("]}");
     out
 }
 
@@ -120,6 +327,95 @@ mod tests {
         let row = lines.next().unwrap();
         assert_eq!(row.split(',').count(), 9);
         assert!(row.starts_with("1000"));
+    }
+
+    fn synthetic_lot() -> LotReport {
+        use crate::lot::DeviceReport;
+        use crate::spec::{GainMask, MaskPoint};
+        use crate::sweep::LowpassFit;
+        let mask = GainMask::new()
+            .with_point(MaskPoint::new(Hertz(100.0), -1.0, 1.0))
+            .with_point(MaskPoint::new(Hertz(1000.0), -4.5, -1.5));
+        let device = |seed: u64, verdict: SpecVerdict, fit: Option<LowpassFit>| DeviceReport {
+            seed,
+            plot: plot(),
+            verdict,
+            fit,
+        };
+        let fit = LowpassFit {
+            gain: 1.0,
+            f0: Hertz(1000.0),
+            q: 0.72,
+        };
+        LotReport::new(
+            mask,
+            vec![
+                device(0, SpecVerdict::Pass, Some(fit)),
+                device(1, SpecVerdict::Ambiguous, Some(fit)),
+                device(2, SpecVerdict::Fail, None),
+            ],
+        )
+    }
+
+    #[test]
+    fn lot_table_lists_devices_and_yield() {
+        let t = lot_table(&synthetic_lot());
+        assert!(t.contains("verdict"));
+        assert!(t.contains("ambiguous"));
+        assert!(t.contains("1 pass, 1 fail, 1 ambiguous"));
+        assert!(t.contains("yield: [33.3%, 66.7%]"));
+        // One header + three devices + two summary lines.
+        assert_eq!(t.lines().count(), 6);
+    }
+
+    #[test]
+    fn lot_csv_layout_is_stable() {
+        let c = lot_csv(&synthetic_lot());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db"
+        );
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), 7, "row {row}");
+        }
+        // The fit-less device renders empty fit columns.
+        assert!(lines[3].starts_with("2,fail,,,"));
+    }
+
+    #[test]
+    fn bode_json_is_self_describing() {
+        let j = bode_json(&plot());
+        assert!(j.starts_with("{\"schema\":\"netan.bode.v1\""));
+        assert!(j.contains("\"freq_hz\":1000"));
+        assert!(j.contains("\"gain_db\":{\"lo\":-3.1,\"est\":-3.01,\"hi\":-2.9}"));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn lot_json_carries_mask_counts_and_devices() {
+        let j = lot_json(&synthetic_lot());
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v1\""));
+        assert!(j.contains("\"counts\":{\"pass\":1,\"fail\":1,\"ambiguous\":1}"));
+        assert!(j.contains("\"verdict\":\"ambiguous\""));
+        assert!(j.contains("\"fit\":null"));
+        assert!(j.contains("\"min_db\":-4.5"));
+        assert_eq!(j.matches("\"seed\":").count(), 3);
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_values_render_as_null() {
+        let mut s = String::new();
+        json_f64(&mut s, f64::NAN);
+        s.push(',');
+        json_f64(&mut s, f64::INFINITY);
+        s.push(',');
+        json_f64(&mut s, 1.5);
+        assert_eq!(s, "null,null,1.5");
     }
 
     #[test]

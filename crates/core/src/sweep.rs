@@ -125,6 +125,120 @@ impl BodePlot {
     }
 }
 
+/// Second-order low-pass parameters estimated from a measured plot — the
+/// per-device summary a lot screening reports next to the verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LowpassFit {
+    /// DC gain (linear).
+    pub gain: f64,
+    /// Natural frequency `f0`.
+    pub f0: Hertz,
+    /// Quality factor `Q`.
+    pub q: f64,
+}
+
+impl BodePlot {
+    /// Fits a second-order low-pass `|H(ω)|² = g²/(1 + Bω² + Cω⁴)` to the
+    /// measured gain estimates and returns `(g, f0, Q)`.
+    ///
+    /// `1/|H|²` is linear in `(1, ω², ω⁴)`, so the fit is a weighted 3×3
+    /// least-squares solve — deterministic and cheap enough to run per
+    /// device in a lot. Weights are `|H|⁴` (relative error on `1/|H|²`),
+    /// which balances passband and stopband points. Returns `None` for
+    /// fewer than three points, non-positive gains, or a fit that is not a
+    /// low-pass (non-positive curvature terms).
+    pub fn fit_lowpass_biquad(&self) -> Option<LowpassFit> {
+        if self.points.len() < 3 {
+            return None;
+        }
+        // Normalize ω by the geometric mean of the grid to keep the
+        // normal equations well conditioned across decades.
+        let ln_mean = self
+            .points
+            .iter()
+            .map(|p| (2.0 * std::f64::consts::PI * p.frequency.value()).ln())
+            .sum::<f64>()
+            / self.points.len() as f64;
+        if !ln_mean.is_finite() {
+            return None;
+        }
+        let scale = ln_mean.exp();
+
+        let mut m = [[0.0f64; 3]; 3];
+        let mut rhs = [0.0f64; 3];
+        for p in &self.points {
+            let h2 = p.gain.est * p.gain.est;
+            if !h2.is_finite() || h2 <= 0.0 {
+                return None;
+            }
+            let y = 1.0 / h2;
+            let w = h2 * h2;
+            let omega = 2.0 * std::f64::consts::PI * p.frequency.value() / scale;
+            let x = omega * omega;
+            let basis = [1.0, x, x * x];
+            for (r, br) in basis.iter().enumerate() {
+                for (c, bc) in basis.iter().enumerate() {
+                    m[r][c] += w * br * bc;
+                }
+                rhs[r] += w * br * y;
+            }
+        }
+        // solve3 guarantees finite solutions, so plain sign tests are
+        // NaN-safe here.
+        let [a, b, c] = solve3(m, rhs)?;
+        if a <= 0.0 || c <= 0.0 {
+            return None;
+        }
+        let gain = a.sqrt().recip();
+        let w0 = (a / c).powf(0.25); // in scaled units
+        let inv_q2 = b / a * w0 * w0 + 2.0;
+        if inv_q2 <= 0.0 {
+            return None;
+        }
+        let f0 = Hertz(w0 * scale / (2.0 * std::f64::consts::PI));
+        let fit = LowpassFit {
+            gain,
+            f0,
+            q: inv_q2.sqrt().recip(),
+        };
+        (fit.gain.is_finite() && fit.f0.value().is_finite() && fit.q.is_finite()).then_some(fit)
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting; `None` for a (numerically) singular matrix.
+fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
+        let lead = m[pivot][col].abs();
+        if !lead.is_finite() || lead < 1e-300 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        let pivot_row = m[col];
+        for row in col + 1..3 {
+            let f = m[row][col] / pivot_row[col];
+            for (mk, pk) in m[row].iter_mut().zip(pivot_row).skip(col) {
+                *mk -= f * pk;
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..3 {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+        if !x[row].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
 impl FromIterator<BodePoint> for BodePlot {
     fn from_iter<I: IntoIterator<Item = BodePoint>>(iter: I) -> Self {
         Self::new(iter.into_iter().collect())
@@ -210,5 +324,70 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn single_point_sweep_panics() {
         let _ = log_spaced(Hertz(100.0), Hertz(200.0), 1);
+    }
+
+    fn biquad_gain(f: f64, f0: f64, q: f64, g: f64) -> f64 {
+        let x = (f / f0).powi(2);
+        g / (1.0 + (1.0 / (q * q) - 2.0) * x + x * x).sqrt()
+    }
+
+    fn analytic_plot(f0: f64, q: f64, g: f64, freqs: &[f64]) -> BodePlot {
+        freqs
+            .iter()
+            .map(|&f| {
+                let gain = biquad_gain(f, f0, q, g);
+                BodePoint {
+                    frequency: Hertz(f),
+                    gain: Bounded::point(gain),
+                    gain_db: Bounded::point(20.0 * gain.log10()),
+                    phase_deg: Bounded::point(0.0),
+                    ideal_gain_db: 20.0 * gain.log10(),
+                    ideal_phase_deg: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lowpass_fit_recovers_analytic_parameters() {
+        let (f0, q, g) = (1234.0, 0.66, 1.05);
+        let plot = analytic_plot(f0, q, g, &[150.0, 400.0, 1000.0, 2500.0, 9000.0]);
+        let fit = plot.fit_lowpass_biquad().unwrap();
+        assert!((fit.f0.value() - f0).abs() / f0 < 1e-6, "{:?}", fit);
+        assert!((fit.q - q).abs() / q < 1e-6, "{:?}", fit);
+        assert!((fit.gain - g).abs() / g < 1e-6, "{:?}", fit);
+    }
+
+    #[test]
+    fn lowpass_fit_works_from_the_mask_grid() {
+        // The four paper-mask frequencies alone (one more than the three
+        // unknowns) must pin the model.
+        let (f0, q, g) = (950.0, std::f64::consts::FRAC_1_SQRT_2, 1.0);
+        let plot = analytic_plot(f0, q, g, &[200.0, 500.0, 1000.0, 10_000.0]);
+        let fit = plot.fit_lowpass_biquad().unwrap();
+        assert!((fit.f0.value() - f0).abs() / f0 < 1e-6, "{:?}", fit);
+        assert!((fit.q - q).abs() / q < 1e-6, "{:?}", fit);
+    }
+
+    #[test]
+    fn lowpass_fit_rejects_degenerate_inputs() {
+        // Too few points.
+        let two = analytic_plot(1000.0, 0.7, 1.0, &[100.0, 1000.0]);
+        assert!(two.fit_lowpass_biquad().is_none());
+        // A zero-gain point cannot be weighted.
+        let mut pts: Vec<BodePoint> =
+            analytic_plot(1000.0, 0.7, 1.0, &[100.0, 300.0, 1000.0, 3000.0])
+                .points()
+                .to_vec();
+        pts[2].gain = Bounded::point(0.0);
+        assert!(BodePlot::new(pts).fit_lowpass_biquad().is_none());
+    }
+
+    #[test]
+    fn solve3_handles_singular_matrix() {
+        let singular = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]];
+        assert!(solve3(singular, [1.0, 2.0, 3.0]).is_none());
+        let identity = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        assert_eq!(solve3(identity, [4.0, 5.0, 6.0]), Some([4.0, 5.0, 6.0]));
     }
 }

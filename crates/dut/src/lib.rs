@@ -32,4 +32,4 @@ pub mod traits;
 pub use active_rc::ActiveRcFilter;
 pub use linear::LinearDut;
 pub use nonlinear::{NonlinearDut, Polynomial};
-pub use traits::{Dut, DutSim};
+pub use traits::{Bypass, Dut, DutSim};

@@ -1,49 +1,61 @@
 //! Production screening: BIST go/no-go against a gain mask over a
-//! Monte Carlo lot of fabricated DUTs.
+//! Monte Carlo lot of fabricated DUTs, at throughput.
 //!
 //! This is the paper's motivating scenario — on-chip pass/fail without an
-//! expensive ATE. The hard error bounds make the verdict trichotomous:
-//! devices near a limit come back `Ambiguous` and earn a longer re-test
-//! instead of a wrong bin.
+//! expensive ATE. The [`netan::LotEngine`] fans whole devices across a
+//! worker pool, amortizing the stimulus calibration (one per analyzer
+//! configuration, not one per device), and the hard error bounds make the
+//! verdict trichotomous: devices near a limit come back `Ambiguous` and
+//! earn a longer re-test instead of a wrong bin.
 //!
 //! Run with: `cargo run --release --example production_screening`
 
 use dut::ActiveRcFilter;
-use netan::{AnalyzerConfig, GainMask, NetworkAnalyzer, SpecVerdict};
+use netan::{lot_table, AnalyzerConfig, GainMask, LotEngine, LotPlan, SpecVerdict};
 
 fn main() -> Result<(), netan::NetanError> {
-    let mask = GainMask::paper_lowpass();
-    let freqs = mask.frequencies();
-
-    let lots = 20;
-    let mut pass = 0;
-    let mut fail = 0;
-    let mut ambiguous = 0;
-
-    println!("device | f0 (Hz) |   Q    | verdict");
-    println!("-------+---------+--------+----------");
-    for seed in 0..lots {
-        // 5 % parts: some devices will genuinely violate the mask.
-        let device = ActiveRcFilter::paper_dut()
+    let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+    // 9 % parts: some devices genuinely violate the mask.
+    let factory = |seed: u64| {
+        ActiveRcFilter::paper_dut()
             .linearized()
-            .fabricate(0.05, seed);
-        let mut analyzer = NetworkAnalyzer::new(&device, AnalyzerConfig::ideal());
-        let plot = analyzer.sweep(&freqs)?;
-        let verdict = mask.classify(plot.points());
-        match verdict {
-            SpecVerdict::Pass => pass += 1,
-            SpecVerdict::Fail => fail += 1,
-            SpecVerdict::Ambiguous => ambiguous += 1,
-        }
+            .fabricate(0.09, seed)
+    };
+    let seeds: Vec<u64> = (0..20).collect();
+
+    let engine = LotEngine::auto();
+    println!(
+        "screening {} devices across {} workers (calibration amortized)\n",
+        seeds.len(),
+        engine.threads()
+    );
+    // Fast first pass: M = 50 costs a quarter of the paper's Bode
+    // setting, at the price of 4x wider enclosures — borderline devices
+    // come back Ambiguous instead of landing in a wrong bin.
+    let fast = AnalyzerConfig::ideal().with_periods(50);
+    let report = engine.run(factory, &seeds, &plan, fast)?;
+    print!("{}", lot_table(&report));
+
+    // The paper's accuracy-for-test-time trade-off, made operational:
+    // only the ambiguous devices earn a second pass at the full M = 200,
+    // which shrinks the enclosure width around the limit.
+    let retest: Vec<u64> = report
+        .devices()
+        .iter()
+        .filter(|d| d.verdict == SpecVerdict::Ambiguous)
+        .map(|d| d.seed)
+        .collect();
+    if !retest.is_empty() {
+        let second = engine.run(factory, &retest, &plan, AnalyzerConfig::ideal())?;
         println!(
-            "{seed:>6} | {:>7.1} | {:>6.4} | {verdict:?}",
-            device.f0().value(),
-            device.q()
+            "\nre-test of {} ambiguous devices at M = 200:",
+            retest.len()
         );
+        for d in second.devices() {
+            println!("  seed {:>2} -> {:?}", d.seed, d.verdict);
+        }
     }
 
-    println!(
-        "\nyield: {pass}/{lots} pass, {fail} fail, {ambiguous} ambiguous (re-test with larger M)"
-    );
+    println!("\nmachine-readable sinks: netan::lot_csv / netan::lot_json (schema netan.lot.v1)");
     Ok(())
 }

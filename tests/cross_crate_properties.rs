@@ -176,6 +176,94 @@ mod dsp_properties {
     }
 }
 
+mod lot_properties {
+    use dut::ActiveRcFilter;
+    use netan::{AnalyzerConfig, GainMask, LotEngine, LotPlan, LotReport, SpecVerdict};
+    use proptest::prelude::*;
+
+    /// A parallel screening run over `lot` devices fabricated at `sigma`
+    /// from `seed_base` (fast settings: minimal mask grid, `M = 50`).
+    fn screening(seed_base: u64, sigma: f64, lot: usize) -> LotReport {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds: Vec<u64> = (0..lot as u64).map(|i| seed_base + i).collect();
+        LotEngine::with_threads(4)
+            .run(
+                move |seed| {
+                    ActiveRcFilter::paper_dut()
+                        .linearized()
+                        .fabricate(sigma, seed)
+                },
+                &seeds,
+                &plan,
+                AnalyzerConfig::ideal().with_periods(50),
+            )
+            .expect("lot run failed")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 5, // each case screens a whole lot
+            ..ProptestConfig::default()
+        })]
+
+        /// The verdict histogram is a partition: pass + fail + ambiguous
+        /// always sums to the lot size, and the yield enclosure is a
+        /// valid sub-interval of [0, 1].
+        #[test]
+        fn yield_counts_sum_to_lot_size(
+            seed_base in 0u64..100_000,
+            sigma in 0.0..0.08f64,
+        ) {
+            let report = screening(seed_base, sigma, 5);
+            let c = report.counts();
+            prop_assert_eq!(c.total(), report.len());
+            prop_assert_eq!(c.pass + c.fail + c.ambiguous, 5);
+            let (lo, hi) = report.yield_bounds();
+            prop_assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
+                "yield bounds [{lo}, {hi}]");
+        }
+
+        /// An `Ambiguous` device is exactly one whose measurement cannot
+        /// decide the bin: some mask point's gain enclosure must contain
+        /// (straddle) a mask limit.
+        #[test]
+        fn ambiguous_devices_straddle_the_mask(
+            seed_base in 0u64..100_000,
+            sigma in 0.02..0.10f64,
+        ) {
+            let report = screening(seed_base, sigma, 4);
+            let mask = GainMask::paper_lowpass();
+            for d in report.devices() {
+                if d.verdict != SpecVerdict::Ambiguous {
+                    continue;
+                }
+                let straddles = mask.points().iter().any(|mp| {
+                    let p = d.plot.points().iter()
+                        .find(|p| p.frequency == mp.frequency)
+                        .expect("mask frequency was measured");
+                    p.gain_db.contains(mp.min_db) || p.gain_db.contains(mp.max_db)
+                });
+                prop_assert!(straddles,
+                    "seed {} is Ambiguous but no enclosure straddles a limit", d.seed);
+            }
+        }
+
+        /// Zero-sigma fabrication is the identity: every device in the
+        /// lot is the nominal part, so every characterization — plot,
+        /// verdict, fitted summary — must be byte-identical.
+        #[test]
+        fn zero_sigma_lot_classifies_identically(seed_base in 0u64..100_000) {
+            let report = screening(seed_base, 0.0, 4);
+            let first = &report.devices()[0];
+            for d in report.devices() {
+                prop_assert_eq!(&d.verdict, &first.verdict);
+                prop_assert!(d.plot == first.plot, "zero-sigma plots diverged");
+                prop_assert!(d.fit == first.fit, "zero-sigma fits diverged");
+            }
+        }
+    }
+}
+
 mod mixsig_properties {
     use mixsig::Matrix;
     use proptest::prelude::*;

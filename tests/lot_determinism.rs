@@ -1,0 +1,158 @@
+//! Determinism guarantees of the parallel `LotEngine`: a parallel lot run
+//! must be **bit-identical** to the serial reference — same plots, same
+//! verdicts, same fitted summaries, same error on failure — for both the
+//! ideal and the seeded-CMOS analyzer profiles.
+//!
+//! The asserts use `PartialEq`, i.e. IEEE equality on every `f64` field —
+//! no tolerances. Since serial and parallel schedules execute the same
+//! deterministic per-device instruction stream, equal values here mean
+//! equal bytes (all measured values are finite; only a ±0.0 difference
+//! could hide behind IEEE equality, and identical computations cannot
+//! produce one).
+
+use dut::ActiveRcFilter;
+use mixsig::units::Hertz;
+use netan::{
+    AnalyzerConfig, GainMask, LotEngine, LotPlan, NetanError, NetworkAnalyzer, SweepEngine,
+};
+
+fn paper_factory(sigma: f64) -> impl Fn(u64) -> ActiveRcFilter + Sync {
+    move |seed| {
+        ActiveRcFilter::paper_dut()
+            .linearized()
+            .fabricate(sigma, seed)
+    }
+}
+
+fn paper_plan() -> LotPlan {
+    LotPlan::from_mask(GainMask::paper_lowpass())
+}
+
+#[test]
+fn parallel_lot_matches_serial_ideal() {
+    let plan = paper_plan();
+    let config = AnalyzerConfig::ideal().with_periods(60);
+    let seeds: Vec<u64> = (0..8).collect();
+    let factory = paper_factory(0.05);
+
+    let serial = LotEngine::serial()
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    let parallel = LotEngine::with_threads(8)
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), seeds.len());
+    // Device order is seed order, regardless of completion order.
+    for (d, &seed) in serial.devices().iter().zip(&seeds) {
+        assert_eq!(d.seed, seed);
+    }
+}
+
+#[test]
+fn nested_point_engine_does_not_change_the_bits() {
+    let plan = paper_plan();
+    let config = AnalyzerConfig::ideal().with_periods(60);
+    let seeds: Vec<u64> = (0..4).collect();
+    let factory = paper_factory(0.05);
+
+    let reference = LotEngine::serial()
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    let nested = LotEngine::with_threads(3)
+        .with_point_engine(SweepEngine::with_threads(2))
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    assert_eq!(reference, nested);
+}
+
+#[test]
+fn parallel_lot_matches_serial_with_seeded_cmos_noise() {
+    // The CMOS profile exercises every seeded noise/mismatch source of
+    // the analyzer's own hardware; determinism must survive the fan-out.
+    let plan = paper_plan();
+    let config = AnalyzerConfig::cmos_035um(7).with_periods(80);
+    let seeds: Vec<u64> = (0..5).collect();
+    let factory = paper_factory(0.03);
+
+    let serial = LotEngine::serial()
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    let parallel = LotEngine::with_threads(8)
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn lowest_index_device_error_wins_under_any_schedule() {
+    // Seeds 2 and 5 fabricate into devices with a NaN pole — not
+    // simulable. Serial and parallel runs must both report the
+    // lowest-index failing device, exactly as an in-order run would.
+    let plan = paper_plan();
+    let config = AnalyzerConfig::ideal().with_periods(60);
+    let seeds: Vec<u64> = (0..8).collect();
+    let factory = |seed: u64| {
+        if seed == 2 || seed == 5 {
+            ActiveRcFilter::new(Hertz(f64::NAN), 0.7, 1.0)
+        } else {
+            ActiveRcFilter::paper_dut()
+                .linearized()
+                .fabricate(0.05, seed)
+        }
+    };
+    let expected = NetanError::DeviceNotSimulable { seed: 2 };
+
+    for engine in [
+        LotEngine::serial(),
+        LotEngine::with_threads(8),
+        LotEngine::with_threads(3).with_point_engine(SweepEngine::with_threads(2)),
+    ] {
+        assert_eq!(
+            engine.run(factory, &seeds, &plan, config).unwrap_err(),
+            expected,
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn amortized_calibration_matches_per_device_calibration() {
+    // The lot engine calibrates once (bypass taps the stimulus ahead of
+    // the DUT) and shares the result; a standalone analyzer calibrates
+    // against its own device. The measured plots must agree bit for bit.
+    let plan = paper_plan();
+    let config = AnalyzerConfig::ideal().with_periods(60);
+    let device = paper_factory(0.05)(3);
+
+    let lot = LotEngine::serial()
+        .run(|_| device.clone(), &[3], &plan, config)
+        .unwrap();
+    let mut standalone = NetworkAnalyzer::new(&device, config);
+    let plot = standalone
+        .sweep_with(&SweepEngine::serial(), plan.grid())
+        .unwrap();
+    assert_eq!(lot.devices()[0].plot, plot);
+}
+
+#[test]
+fn parallel_harmonics_match_serial_bit_identically() {
+    // Distortion screening rides the same pool: per-k acquisitions are
+    // independent, so the parallel variant must reproduce the serial
+    // bytes, fundamental first.
+    let dut = ActiveRcFilter::paper_dut(); // includes the nonlinearity
+    let config = AnalyzerConfig::ideal().with_periods(100);
+    let mut na = NetworkAnalyzer::new(&dut, config);
+    let serial = na.measure_harmonics(Hertz(1600.0), 3).unwrap();
+    let parallel = na
+        .measure_harmonics_with(&SweepEngine::with_threads(3), Hertz(1600.0), 3)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(parallel.len(), 3);
+    assert_eq!(parallel[0].k, 1);
+    // Invalid stimulus frequency is rejected before any acquisition.
+    assert!(matches!(
+        na.measure_harmonics_with(&SweepEngine::auto(), Hertz(0.0), 3),
+        Err(NetanError::InvalidFrequency { .. })
+    ));
+}

@@ -1,0 +1,88 @@
+//! Golden-output tests for the report sinks: the JSON serialization of a
+//! small seeded lot is compared byte-for-byte against a checked-in
+//! fixture, and the CSV layout is pinned. Everything in the pipeline is
+//! seeded, so the bytes are reproducible on a given platform; transcendental
+//! calls (`sin`, `log10`, …) go through the system libm, so a different
+//! platform/libm may drift by an ulp and shift the shortest-round-trip
+//! digits. If that — or a deliberate change — moves the bytes, re-bless
+//! with `UPDATE_GOLDEN=1 cargo test -p netan --test report_golden`.
+//! The structural tests below are platform-independent.
+
+use dut::ActiveRcFilter;
+use netan::{
+    bode_json, lot_csv, lot_json, AnalyzerConfig, GainMask, LotEngine, LotPlan, LotReport,
+};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/lot_small.json"
+);
+
+fn small_seeded_lot() -> LotReport {
+    let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+    let seeds = [0u64, 1, 2, 3];
+    LotEngine::serial()
+        .run(
+            |seed| {
+                ActiveRcFilter::paper_dut()
+                    .linearized()
+                    .fabricate(0.05, seed)
+            },
+            &seeds,
+            &plan,
+            AnalyzerConfig::ideal().with_periods(50),
+        )
+        .unwrap()
+}
+
+#[test]
+fn lot_json_matches_golden_fixture() {
+    let json = lot_json(&small_seeded_lot());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, format!("{json}\n")).unwrap();
+    }
+    let golden = std::fs::read_to_string(FIXTURE).expect("fixture tests/fixtures/lot_small.json");
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "lot_json drifted from the fixture; re-bless with UPDATE_GOLDEN=1 if intended"
+    );
+}
+
+#[test]
+fn lot_json_structure_is_well_formed() {
+    let json = lot_json(&small_seeded_lot());
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v1\","));
+    assert!(json.ends_with("]}"));
+    assert_eq!(json.matches("\"seed\":").count(), 4);
+    assert_eq!(json.matches("\"freq_hz\":").count(), 4 + 4 * 4); // mask + 4 devices x 4 points
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(!json.contains("NaN") && !json.contains("inf"));
+}
+
+#[test]
+fn lot_csv_rows_and_columns_are_pinned() {
+    let report = small_seeded_lot();
+    let csv = lot_csv(&report);
+    let lines: Vec<&str> = csv.lines().collect();
+    // Header + one row per device.
+    assert_eq!(lines.len(), 1 + report.len());
+    assert_eq!(
+        lines[0],
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db"
+    );
+    for (i, row) in lines[1..].iter().enumerate() {
+        assert_eq!(row.split(',').count(), 7, "row {row}");
+        assert!(row.starts_with(&format!("{i},")), "row {row}");
+    }
+}
+
+#[test]
+fn bode_json_round_trips_the_device_plot() {
+    let report = small_seeded_lot();
+    let json = bode_json(&report.devices()[0].plot);
+    assert!(json.starts_with("{\"schema\":\"netan.bode.v1\",\"points\":["));
+    assert_eq!(json.matches("\"freq_hz\":").count(), 4);
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
