@@ -7,6 +7,7 @@
 //! digital control, so calibration "only needs to be performed once").
 
 use dut::{Dut, DutSim};
+use sdeval::BlockSource;
 use sigen::{GeneratorConfig, SinewaveGenerator};
 
 /// Which path the evaluator observes.
@@ -23,8 +24,14 @@ pub enum SignalPath {
 /// calibration bypass.
 pub struct DemoBoard {
     generator: SinewaveGenerator,
-    dut_sim: Box<dyn DutSim>,
+    /// `None` on a bypass-only board ([`DemoBoard::for_bypass`]): the DUT
+    /// output is never observed on the bypass path, so a board built
+    /// purely for calibration skips the DUT simulation entirely.
+    dut_sim: Option<Box<dyn DutSim>>,
     path: SignalPath,
+    /// Scratch buffers for block acquisition, grown once and reused.
+    stim: Vec<f64>,
+    sink: Vec<f64>,
 }
 
 impl DemoBoard {
@@ -34,8 +41,26 @@ impl DemoBoard {
         let fs = gen_config.master_clock.frequency();
         Self {
             generator: SinewaveGenerator::new(gen_config),
-            dut_sim: device.instantiate(fs),
+            dut_sim: Some(device.instantiate(fs)),
             path: SignalPath::Dut,
+            stim: Vec::new(),
+            sink: Vec::new(),
+        }
+    }
+
+    /// Assembles a bypass-only board: the generator feeds the evaluator
+    /// directly (paper Fig. 1 dashed path) and **no DUT is simulated** —
+    /// the bypass output never observes the DUT, so a board built only to
+    /// characterize the stimulus can skip that work entirely. Output is
+    /// bit-identical to a full board switched to
+    /// [`SignalPath::CalibrationBypass`].
+    pub fn for_bypass(gen_config: GeneratorConfig) -> Self {
+        Self {
+            generator: SinewaveGenerator::new(gen_config),
+            dut_sim: None,
+            path: SignalPath::CalibrationBypass,
+            stim: Vec::new(),
+            sink: Vec::new(),
         }
     }
 
@@ -49,33 +74,76 @@ impl DemoBoard {
         self.path
     }
 
+    /// Whether a DUT is mounted (false only for [`for_bypass`](Self::for_bypass) boards).
+    pub fn has_dut(&self) -> bool {
+        self.dut_sim.is_some()
+    }
+
     /// Selects the signal path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when selecting [`SignalPath::Dut`] on a bypass-only board.
     pub fn set_path(&mut self, path: SignalPath) {
+        assert!(
+            path != SignalPath::Dut || self.dut_sim.is_some(),
+            "bypass-only board has no DUT path"
+        );
         self.path = path;
     }
 
-    /// One master-clock sample of the selected output. The DUT keeps
-    /// processing the stimulus even in bypass mode, exactly like the real
-    /// board (the bypass taps the signal, it does not disconnect the DUT).
-    pub fn next_sample(&mut self) -> f64 {
-        let stimulus = self.generator.next_sample();
-        let dut_out = self.dut_sim.step(stimulus);
-        match self.path {
-            SignalPath::Dut => dut_out,
-            SignalPath::CalibrationBypass => stimulus,
+    /// Fills `out` with the next `out.len()` master-clock samples of the
+    /// selected output — the batched equivalent of
+    /// [`next_sample`](Self::next_sample), bit-identical to it. On a full
+    /// board the DUT keeps processing the stimulus even in bypass mode,
+    /// exactly like the real board (the bypass taps the signal, it does
+    /// not disconnect the DUT); only a bypass-only board skips that work.
+    pub fn fill_block(&mut self, out: &mut [f64]) {
+        let len = out.len();
+        if self.stim.len() < len {
+            self.stim.resize(len, 0.0);
         }
+        let stim = &mut self.stim[..len];
+        self.generator.fill_block(stim);
+        match (self.path, self.dut_sim.as_mut()) {
+            (SignalPath::Dut, Some(dut)) => dut.process_block(stim, out),
+            (SignalPath::Dut, None) => unreachable!("set_path rejects Dut on bypass-only boards"),
+            (SignalPath::CalibrationBypass, Some(dut)) => {
+                if self.sink.len() < len {
+                    self.sink.resize(len, 0.0);
+                }
+                dut.process_block(stim, &mut self.sink[..len]);
+                out.copy_from_slice(stim);
+            }
+            (SignalPath::CalibrationBypass, None) => out.copy_from_slice(stim),
+        }
+    }
+
+    /// One master-clock sample of the selected output (a 1-sample
+    /// [`fill_block`](Self::fill_block)).
+    pub fn next_sample(&mut self) -> f64 {
+        let mut s = [0.0];
+        self.fill_block(&mut s);
+        s[0]
     }
 
     /// Runs `periods` stimulus periods to let the generator and DUT settle.
     pub fn warm_up(&mut self, periods: usize) {
-        for _ in 0..periods * mixsig::clock::OVERSAMPLING_RATIO as usize {
-            self.next_sample();
+        let mut sink = [0.0; mixsig::clock::OVERSAMPLING_RATIO as usize];
+        for _ in 0..periods {
+            self.fill_block(&mut sink);
         }
     }
 
-    /// A closure view suitable for the evaluator API.
+    /// A closure view suitable for the per-sample evaluator API.
     pub fn source(&mut self) -> impl FnMut() -> f64 + '_ {
         move || self.next_sample()
+    }
+}
+
+impl BlockSource for DemoBoard {
+    fn fill_block(&mut self, out: &mut [f64]) {
+        DemoBoard::fill_block(self, out);
     }
 }
 
@@ -140,6 +208,40 @@ mod tests {
         assert_eq!(board.path(), SignalPath::CalibrationBypass);
         // Still produces samples.
         let _ = board.next_sample();
+    }
+
+    #[test]
+    fn fill_block_matches_per_sample_stream() {
+        let mut by_sample = board_at(1000.0);
+        let mut by_block = board_at(1000.0);
+        let want: Vec<f64> = (0..96 * 2 + 5).map(|_| by_sample.next_sample()).collect();
+        let mut got = vec![0.0; want.len()];
+        for chunk in got.chunks_mut(17) {
+            by_block.fill_block(chunk);
+        }
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn bypass_only_board_matches_full_board_bypass_output() {
+        let clk = MasterClock::for_stimulus(mixsig::units::Hertz(1000.0));
+        let cfg = GeneratorConfig::cmos_035um(clk, Volts(0.15), 11);
+        let mut full = DemoBoard::new(cfg.clone(), &ActiveRcFilter::paper_dut());
+        full.set_path(SignalPath::CalibrationBypass);
+        let mut bypass_only = DemoBoard::for_bypass(cfg);
+        assert!(!bypass_only.has_dut());
+        let want: Vec<f64> = (0..96 * 4).map(|_| full.next_sample()).collect();
+        let mut got = vec![0.0; want.len()];
+        bypass_only.fill_block(&mut got);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    #[should_panic(expected = "no DUT path")]
+    fn bypass_only_board_rejects_dut_path() {
+        let clk = MasterClock::for_stimulus(mixsig::units::Hertz(1000.0));
+        let mut board = DemoBoard::for_bypass(GeneratorConfig::ideal(clk, Volts(0.15)));
+        board.set_path(SignalPath::Dut);
     }
 
     #[test]

@@ -31,9 +31,9 @@ fn generator_sfdr(opamp: OpAmpModel, matching: MatchingSpec, noise: bool) -> f64
 
 fn evaluator_error(sdm: SdmConfig, chopped: bool) -> f64 {
     let cfg = EvaluatorConfig {
-        n: 96,
         sdm,
         chopped,
+        ..EvaluatorConfig::ideal()
     };
     let mut ev = SinewaveEvaluator::new(cfg);
     let mut src = bench::tone_source(1.0 / 96.0, 0.2, 0.4);

@@ -52,6 +52,10 @@ pub struct AnalyzerConfig {
     /// Stimulus periods to run before each measurement so generator and
     /// DUT transients decay.
     pub warmup_periods: u32,
+    /// Acquisition block length in master-clock samples, forwarded to the
+    /// evaluator. Any value produces bit-identical points; this is a
+    /// throughput knob only.
+    pub block_samples: usize,
 }
 
 impl AnalyzerConfig {
@@ -62,6 +66,7 @@ impl AnalyzerConfig {
             hardware: HardwareProfile::Ideal,
             periods: 200,
             warmup_periods: 40,
+            block_samples: sdeval::DEFAULT_BLOCK_SAMPLES,
         }
     }
 
@@ -84,6 +89,14 @@ impl AnalyzerConfig {
     #[must_use]
     pub fn with_va_diff(mut self, va: Volts) -> Self {
         self.va_diff = va;
+        self
+    }
+
+    /// Returns the configuration with a different acquisition block
+    /// length (`usize::MAX` means "one block per acquisition window").
+    #[must_use]
+    pub fn with_block_samples(mut self, block_samples: usize) -> Self {
+        self.block_samples = block_samples;
         self
     }
 }
@@ -206,7 +219,10 @@ impl<'d> NetworkAnalyzer<'d> {
     /// Measures one Bode point against an explicit stimulus
     /// characterization. Takes `&self`: every sweep point is an
     /// independent simulation, so [`SweepEngine`](crate::SweepEngine)
-    /// workers can share one analyzer across threads.
+    /// workers can share one analyzer across threads. The acquisition is
+    /// driven block-wise end to end (generator → DUT → ΣΔ consume
+    /// [`AnalyzerConfig::block_samples`]-sized blocks), bit-identical to
+    /// the per-sample reference chain.
     ///
     /// # Errors
     ///
@@ -351,7 +367,12 @@ impl<'d> NetworkAnalyzer<'d> {
         .collect()
     }
 
-    /// One full acquisition over the requested path.
+    /// One full acquisition over the requested path, driven block-wise
+    /// (generator → DUT → ΣΔ all consume fixed-size blocks). A bypass
+    /// acquisition builds a bypass-only board, skipping the DUT
+    /// simulation entirely: the analyzer constructs a fresh board per
+    /// acquisition, so no DUT state is lost, and the bypass output never
+    /// observes the DUT — the calibration result is bit-identical.
     fn measure_path(
         &self,
         f_wave: Hertz,
@@ -363,12 +384,18 @@ impl<'d> NetworkAnalyzer<'d> {
             .config
             .hardware
             .generator_config(clk, self.config.va_diff);
-        let mut board = DemoBoard::new(gen_cfg, self.dut);
-        board.set_path(path);
+        let mut board = match path {
+            SignalPath::Dut => DemoBoard::new(gen_cfg, self.dut),
+            SignalPath::CalibrationBypass => DemoBoard::for_bypass(gen_cfg),
+        };
         board.warm_up(self.config.warmup_periods as usize);
-        let mut evaluator = SinewaveEvaluator::new(self.config.hardware.evaluator_config());
-        let mut source = board.source();
-        Ok(evaluator.measure_harmonic(&mut source, k, self.config.periods)?)
+        let eval_cfg = self
+            .config
+            .hardware
+            .evaluator_config()
+            .with_block_samples(self.config.block_samples);
+        let mut evaluator = SinewaveEvaluator::new(eval_cfg);
+        Ok(evaluator.measure_harmonic_blocks(&mut board, k, self.config.periods)?)
     }
 }
 
@@ -398,6 +425,38 @@ mod tests {
         // Ideal generator with VA = 150 mV → ≈ 0.30 V stimulus.
         assert!((cal.amplitude.est - 0.30).abs() < 0.02, "{}", cal.amplitude);
         assert!(na.calibration().is_some());
+    }
+
+    #[test]
+    fn calibration_unchanged_by_dut_skip() {
+        // The bypass-only board must report exactly what a full board
+        // switched to the bypass path reports — the DUT never touches the
+        // bypass output, so skipping its simulation is free.
+        use ate::DemoBoard;
+        use mixsig::clock::MasterClock;
+        use sdeval::SinewaveEvaluator;
+
+        let dut = ActiveRcFilter::paper_dut();
+        let cfg = AnalyzerConfig::cmos_035um(13).with_periods(50);
+        let mut na = NetworkAnalyzer::new(&dut, cfg);
+        let cal = na.calibrate().unwrap();
+
+        // Reference: the pre-skip acquisition — full board, bypass path.
+        let clk = MasterClock::for_stimulus(Hertz(1000.0));
+        let gen_cfg = cfg.hardware.generator_config(clk, cfg.va_diff);
+        let mut board = DemoBoard::new(gen_cfg, &dut);
+        board.set_path(SignalPath::CalibrationBypass);
+        board.warm_up(cfg.warmup_periods as usize);
+        let eval_cfg = cfg
+            .hardware
+            .evaluator_config()
+            .with_block_samples(cfg.block_samples);
+        let mut evaluator = SinewaveEvaluator::new(eval_cfg);
+        let want = evaluator
+            .measure_harmonic_blocks(&mut board, 1, cfg.periods)
+            .unwrap();
+        assert_eq!(cal.amplitude, want.amplitude);
+        assert_eq!(cal.phase, want.phase);
     }
 
     #[test]

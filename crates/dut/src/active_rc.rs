@@ -158,6 +158,13 @@ impl DutSim for ActiveRcSim {
     fn reset(&mut self) {
         self.dss.reset();
     }
+
+    fn process_block(&mut self, input: &[f64], out: &mut [f64]) {
+        self.dss.process_block(input, out);
+        for y in out.iter_mut() {
+            *y = self.poly.apply(*y);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,10 @@ impl DutSim for LinearDutSim {
     fn reset(&mut self) {
         self.dss.reset();
     }
+
+    fn process_block(&mut self, input: &[f64], out: &mut [f64]) {
+        self.dss.process_block(input, out);
+    }
 }
 
 #[cfg(test)]

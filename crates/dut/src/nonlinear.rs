@@ -99,6 +99,13 @@ impl DutSim for NonlinearDutSim {
     fn reset(&mut self) {
         self.core.reset();
     }
+
+    fn process_block(&mut self, input: &[f64], out: &mut [f64]) {
+        self.core.process_block(input, out);
+        for y in out.iter_mut() {
+            *y = self.poly.apply(*y);
+        }
+    }
 }
 
 #[cfg(test)]

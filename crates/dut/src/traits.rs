@@ -36,9 +36,34 @@ pub trait DutSim {
     /// Resets internal state to zero.
     fn reset(&mut self);
 
-    /// Processes a whole record (convenience).
+    /// Processes `input` into `out`, one output sample per input sample.
+    ///
+    /// The provided default loops [`step`](Self::step); implementations
+    /// with state-space cores override it with a tight allocation-free
+    /// loop over unboxed state. Either way the result must be
+    /// bit-identical to stepping per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != out.len()`.
+    fn process_block(&mut self, input: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            input.len(),
+            out.len(),
+            "input and output blocks must have equal length"
+        );
+        for (y, &u) in out.iter_mut().zip(input) {
+            *y = self.step(u);
+        }
+    }
+
+    /// Processes a whole record (compatibility wrapper over
+    /// [`process_block`](Self::process_block); prefer the block API with a
+    /// reused caller buffer inside loops).
     fn process(&mut self, input: &[f64]) -> Vec<f64> {
-        input.iter().map(|&u| self.step(u)).collect()
+        let mut out = vec![0.0; input.len()];
+        self.process_block(input, &mut out);
+        out
     }
 }
 
@@ -69,6 +94,10 @@ impl DutSim for BypassSim {
     }
 
     fn reset(&mut self) {}
+
+    fn process_block(&mut self, input: &[f64], out: &mut [f64]) {
+        out.copy_from_slice(input);
+    }
 }
 
 #[cfg(test)]

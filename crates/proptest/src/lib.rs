@@ -7,8 +7,8 @@
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * the [`Strategy`] trait with `prop_map`,
-//! * numeric range strategies, tuple strategies, and
-//!   [`collection::vec`],
+//! * numeric range strategies, tuple strategies, [`Just`], [`any`],
+//!   [`prop_oneof!`], and [`collection::vec`],
 //! * [`ProptestConfig`] with a `cases` knob.
 //!
 //! Unlike the real crate there is **no shrinking**: a failing case panics
@@ -173,6 +173,92 @@ impl_tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+/// A strategy that always produces the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between boxed strategies of one value type — what
+/// [`prop_oneof!`] builds (the real crate's `TupleUnion`, minus weights).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; one option is drawn uniformly per generated case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Picks uniformly among the given strategies (all must produce the same
+/// value type). Unlike the real crate, weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$(
+            ::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>
+        ),+])
+    };
+}
+
+/// Types with a canonical strategy over their whole value space, for
+/// [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform coin flip (the [`Arbitrary`] strategy for `bool`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> Self::Strategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -200,7 +286,9 @@ pub mod collection {
 
 /// The usual `use proptest::prelude::*;` surface.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
 }
 
 /// Asserts a condition inside a [`proptest!`] body, failing the case with
@@ -317,6 +405,17 @@ mod tests {
         #[test]
         fn vec_and_map_compose(v in crate::collection::vec(-1.0f64..1.0, 8).prop_map(|v| v.len())) {
             prop_assert_eq!(v, 8);
+        }
+
+        #[test]
+        fn oneof_just_and_any(
+            pick in prop_oneof![crate::Just(1usize), crate::Just(7usize), crate::Just(64usize)],
+            flag in crate::any::<bool>(),
+        ) {
+            // `flag` only has to be generable; fold it in so neither arm
+            // of the coin is a tautology on its own.
+            let expected: &[usize] = if flag { &[1, 7, 64] } else { &[64, 7, 1] };
+            prop_assert!(expected.contains(&pick));
         }
     }
 }

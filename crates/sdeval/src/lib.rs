@@ -45,7 +45,8 @@ pub mod squarewave;
 
 pub use counter::SignatureCounter;
 pub use evaluator::{
-    DcMeasurement, EvalError, EvaluatorConfig, HarmonicMeasurement, SinewaveEvaluator,
+    BlockSource, DcMeasurement, EvalError, EvaluatorConfig, FnSource, HarmonicMeasurement,
+    SinewaveEvaluator, DEFAULT_BLOCK_SAMPLES,
 };
 pub use modulator::{ComparatorModel, SdmConfig, SigmaDeltaModulator};
 pub use modulator2::SecondOrderModulator;

@@ -200,6 +200,7 @@ impl SigmaDeltaModulator {
 
     /// One master-clock cycle: samples input `x` with polarity `q`
     /// (`true` = positive), returns the output bit (`true` = +1).
+    #[inline]
     pub fn step(&mut self, x: f64, q: bool) -> bool {
         // Latch decision on the previous integrator state.
         let cmp = &self.config.comparator;
@@ -216,6 +217,29 @@ impl SigmaDeltaModulator {
         ]);
         self.last_bit = bit;
         bit
+    }
+
+    /// Processes a whole block: one master-clock cycle per `(x, q)` pair,
+    /// accumulating the bitstream as a signed count (`+1` per high bit,
+    /// `−1` per low bit) — exactly what the signature counters integrate.
+    /// Bit-identical to calling [`step`](Self::step) in a loop; the loop
+    /// body stays branch-light (the only data-dependent branches are the
+    /// 1-bit quantizer decisions themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != q.len()`.
+    pub fn process_block(&mut self, x: &[f64], q: &[bool]) -> i64 {
+        assert_eq!(
+            x.len(),
+            q.len(),
+            "sample and polarity blocks must have equal length"
+        );
+        let mut acc = 0i64;
+        for (&xi, &qi) in x.iter().zip(q) {
+            acc += if self.step(xi, qi) { 1 } else { -1 };
+        }
+        acc
     }
 }
 
@@ -343,6 +367,29 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn process_block_matches_step_loop() {
+        for cfg in [SdmConfig::ideal(), SdmConfig::cmos_035um(23)] {
+            let mut by_step = SigmaDeltaModulator::new(cfg.clone());
+            let mut by_block = SigmaDeltaModulator::new(cfg);
+            let x: Vec<f64> = (0..777)
+                .map(|i| 0.6 * (2.0 * std::f64::consts::PI * i as f64 / 96.0).sin())
+                .collect();
+            let q: Vec<bool> = (0..777).map(|i| i % 96 < 48).collect();
+            let want: i64 = x
+                .iter()
+                .zip(&q)
+                .map(|(&xi, &qi)| if by_step.step(xi, qi) { 1i64 } else { -1 })
+                .sum();
+            let mut got = 0i64;
+            for (xc, qc) in x.chunks(100).zip(q.chunks(100)) {
+                got += by_block.process_block(xc, qc);
+            }
+            assert_eq!(want, got);
+            assert_eq!(by_step.integrator_state(), by_block.integrator_state());
+        }
     }
 
     #[test]

@@ -159,26 +159,41 @@ impl SinewaveGenerator {
         self.biquad.transfer(w, self.config.va_diff.value())
     }
 
-    /// Next output sample at the master-clock rate `f_eva` (each biquad
-    /// output held for [`HOLD_SAMPLES`] samples).
-    pub fn next_sample(&mut self) -> f64 {
-        if self.hold_phase == 0 {
-            self.held = self.next_transfer();
+    /// Fills `out` with the next `out.len()` output samples at the
+    /// master-clock rate `f_eva` (each biquad output held for
+    /// [`HOLD_SAMPLES`] samples) — the batched equivalent of calling
+    /// [`next_sample`](Self::next_sample) in a loop, bit-identical to it.
+    pub fn fill_block(&mut self, out: &mut [f64]) {
+        for y in out.iter_mut() {
+            if self.hold_phase == 0 {
+                self.held = self.next_transfer();
+            }
+            self.hold_phase = (self.hold_phase + 1) % HOLD_SAMPLES;
+            *y = self.held;
         }
-        self.hold_phase = (self.hold_phase + 1) % HOLD_SAMPLES;
-        self.held
+    }
+
+    /// Next output sample at the master-clock rate `f_eva` (a 1-sample
+    /// [`fill_block`](Self::fill_block)).
+    pub fn next_sample(&mut self) -> f64 {
+        let mut s = [0.0];
+        self.fill_block(&mut s);
+        s[0]
     }
 
     /// Generates `n` samples at `f_eva`.
     pub fn waveform_at_feva(&mut self, n: usize) -> Vec<f64> {
-        (0..n).map(|_| self.next_sample()).collect()
+        let mut out = vec![0.0; n];
+        self.fill_block(&mut out);
+        out
     }
 
     /// Runs the generator until the start-up transient has decayed
     /// (`periods` stimulus periods, ≥ ~10 recommended for Q ≈ 2.5).
     pub fn settle(&mut self, periods: usize) {
-        for _ in 0..periods * OVERSAMPLING_RATIO as usize {
-            self.next_sample();
+        let mut sink = [0.0; OVERSAMPLING_RATIO as usize];
+        for _ in 0..periods {
+            self.fill_block(&mut sink);
         }
     }
 }
@@ -268,6 +283,25 @@ mod tests {
         let gen = ideal_gen(0.15);
         let a = gen.expected_amplitude().value();
         assert!((a - 0.30).abs() < 0.02, "{a}");
+    }
+
+    #[test]
+    fn fill_block_matches_per_sample_stream() {
+        let clk = MasterClock::from_hz(6.0e6);
+        for cfg in [
+            GeneratorConfig::ideal(clk, Volts(0.2)),
+            GeneratorConfig::cmos_035um(clk, Volts(0.2), 5),
+        ] {
+            let mut by_sample = SinewaveGenerator::new(cfg.clone());
+            let mut by_block = SinewaveGenerator::new(cfg);
+            let want: Vec<f64> = (0..96 * 3 + 17).map(|_| by_sample.next_sample()).collect();
+            let mut got = vec![0.0; want.len()];
+            // Uneven chunks land mid-hold, exercising the hold carry.
+            for chunk in got.chunks_mut(11) {
+                by_block.fill_block(chunk);
+            }
+            assert_eq!(want, got);
+        }
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Regenerates fig10-style gain/phase data from `netan.*.v1` JSON
+//! report documents (the ROADMAP's plotting-script item).
+//!
+//! ```sh
+//! # CSV from a saved report (bode or lot schema is auto-detected):
+//! cargo run --release --example plot_report -- report.json > bode.csv
+//!
+//! # No argument: measure the paper DUT, round-trip it through
+//! # `bode_json`, and emit the CSV — a self-contained demo:
+//! cargo run --release --example plot_report -- > bode.csv
+//!
+//! # A gnuplot script for the emitted CSV:
+//! cargo run --release --example plot_report -- --gnuplot bode.csv
+//! ```
+//!
+//! The CSV carries one row per measured point — frequency, the gain and
+//! phase enclosures (lo/est/hi), and the analytic reference curve — which
+//! is exactly what the paper's Fig. 10a/10b overlay. Lot documents emit
+//! the same columns with a leading `seed` column, one block per device.
+
+use netan::{bode_json, log_spaced, AnalyzerConfig, NetworkAnalyzer, SweepEngine};
+
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser. The workspace is
+// fully offline (no serde); the grammar below covers everything the
+// `netan.*.v1` emitters in `netan::report` produce.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of document".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    match esc {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 2..self.pos + 6)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    // Copy an unescaped run verbatim: the input is a &str,
+                    // so re-slicing it keeps multi-byte UTF-8 intact.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| format!("invalid UTF-8 at offset {start}"))?;
+                    out.push_str(run);
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV emission.
+// ---------------------------------------------------------------------
+
+const POINT_COLUMNS: &str = "freq_hz,gain_db_lo,gain_db_est,gain_db_hi,\
+                             phase_deg_lo,phase_deg_est,phase_deg_hi,\
+                             ideal_gain_db,ideal_phase_deg";
+
+fn f(v: Option<&Json>) -> f64 {
+    v.and_then(Json::num).unwrap_or(f64::NAN)
+}
+
+fn push_point_row(out: &mut String, prefix: &str, p: &Json) {
+    let g = p.get("gain_db");
+    let ph = p.get("phase_deg");
+    let bound = |b: Option<&Json>, field: &str| f(b.and_then(|b| b.get(field)));
+    let _ = writeln!(
+        out,
+        "{prefix}{},{},{},{},{},{},{},{},{}",
+        f(p.get("freq_hz")),
+        bound(g, "lo"),
+        bound(g, "est"),
+        bound(g, "hi"),
+        bound(ph, "lo"),
+        bound(ph, "est"),
+        bound(ph, "hi"),
+        f(p.get("ideal_gain_db")),
+        f(p.get("ideal_phase_deg")),
+    );
+}
+
+fn bode_csv(doc: &Json) -> String {
+    let mut out = format!("{POINT_COLUMNS}\n");
+    for p in doc.get("points").map(Json::arr).unwrap_or_default() {
+        push_point_row(&mut out, "", p);
+    }
+    out
+}
+
+fn lot_csv_points(doc: &Json) -> String {
+    let mut out = format!("seed,verdict,{POINT_COLUMNS}\n");
+    for d in doc.get("devices").map(Json::arr).unwrap_or_default() {
+        let seed = f(d.get("seed"));
+        let verdict = d.get("verdict").and_then(Json::str).unwrap_or("?");
+        for p in d.get("points").map(Json::arr).unwrap_or_default() {
+            push_point_row(&mut out, &format!("{seed},{verdict},"), p);
+        }
+    }
+    out
+}
+
+/// A gnuplot script reproducing the paper's Fig. 10a/10b presentation
+/// from a CSV produced by this tool: measured enclosures as error bars
+/// over the analytic reference curve.
+fn gnuplot_script(csv: &str) -> String {
+    format!(
+        "set datafile separator ','\n\
+         set logscale x\n\
+         set xlabel 'frequency (Hz)'\n\
+         set key left bottom\n\
+         set terminal pngcairo size 900,700\n\
+         set output 'fig10a_gain.png'\n\
+         set ylabel 'gain (dB)'\n\
+         plot '{csv}' skip 1 using 1:3:2:4 with yerrorbars title 'measured enclosure', \\\n\
+         \x20    '{csv}' skip 1 using 1:8 with lines title 'analytic'\n\
+         set output 'fig10b_phase.png'\n\
+         set ylabel 'phase (deg)'\n\
+         plot '{csv}' skip 1 using 1:6:5:7 with yerrorbars title 'measured enclosure', \\\n\
+         \x20    '{csv}' skip 1 using 1:9 with lines title 'analytic'\n"
+    )
+}
+
+/// Demo document: sweep the paper DUT and serialize it — the round trip
+/// proves the consumer reads exactly what the sinks emit.
+fn demo_document() -> String {
+    let dut = dut::ActiveRcFilter::paper_dut().linearized();
+    let mut na = NetworkAnalyzer::new(&dut, AnalyzerConfig::ideal().with_periods(100));
+    let grid = log_spaced(
+        mixsig::units::Hertz(100.0),
+        mixsig::units::Hertz(20_000.0),
+        13,
+    );
+    let plot = na
+        .sweep_with(&SweepEngine::auto(), &grid)
+        .expect("demo sweep failed");
+    bode_json(&plot)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, csv] = args.as_slice() {
+        if flag == "--gnuplot" {
+            print!("{}", gnuplot_script(csv));
+            return;
+        }
+    }
+    let text = match args.first().map(String::as_str) {
+        None | Some("-") => demo_document(),
+        Some(path) => {
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
+    };
+    let doc = Parser::parse(&text).unwrap_or_else(|e| panic!("bad JSON: {e}"));
+    let schema = doc.get("schema").and_then(Json::str).unwrap_or("");
+    let csv = match schema {
+        "netan.bode.v1" => bode_csv(&doc),
+        "netan.lot.v1" => lot_csv_points(&doc),
+        other => panic!("unsupported schema {other:?} (expected netan.bode.v1 or netan.lot.v1)"),
+    };
+    print!("{csv}");
+    eprintln!(
+        "# {} rows from schema {schema}; next: `plot_report --gnuplot <csv>` for the fig10 script",
+        csv.lines().count() - 1
+    );
+}

@@ -264,6 +264,66 @@ mod lot_properties {
     }
 }
 
+mod block_pipeline_properties {
+    use dut::ActiveRcFilter;
+    use mixsig::units::Hertz;
+    use netan::{AnalyzerConfig, BodePoint, NetworkAnalyzer};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// One calibrated Bode point of the paper DUT measured with the given
+    /// acquisition block length (fast settings: `M = 20`, short warm-up).
+    fn point_with_block(block: usize, cmos: bool) -> BodePoint {
+        let dut = ActiveRcFilter::paper_dut();
+        let base = if cmos {
+            AnalyzerConfig::cmos_035um(17)
+        } else {
+            AnalyzerConfig::ideal()
+        };
+        let cfg = AnalyzerConfig {
+            warmup_periods: 10,
+            ..base.with_periods(20).with_block_samples(block)
+        };
+        let mut na = NetworkAnalyzer::new(&dut, cfg);
+        na.measure_point(Hertz(1000.0)).unwrap()
+    }
+
+    /// The default-block-size point for each profile, computed once: the
+    /// measurement is deterministic, so every case compares against the
+    /// same two reference values.
+    fn reference_point(cmos: bool) -> &'static BodePoint {
+        static IDEAL: OnceLock<BodePoint> = OnceLock::new();
+        static CMOS: OnceLock<BodePoint> = OnceLock::new();
+        let cell = if cmos { &CMOS } else { &IDEAL };
+        cell.get_or_init(|| point_with_block(sdeval::DEFAULT_BLOCK_SAMPLES, cmos))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 8, // each case runs two full point acquisitions
+            ..ProptestConfig::default()
+        })]
+
+        /// The acquisition block length is a throughput knob only: block
+        /// sizes 1, 7, 64, 1024 and "whole window" must produce
+        /// byte-identical `BodePoint`s, for the ideal and the seeded
+        /// `cmos_035um` hardware profiles alike.
+        #[test]
+        fn block_size_never_changes_a_bode_point(
+            block in prop_oneof![
+                Just(1usize),
+                Just(7usize),
+                Just(64usize),
+                Just(1024usize),
+                Just(usize::MAX),
+            ],
+            cmos in any::<bool>(),
+        ) {
+            prop_assert_eq!(&point_with_block(block, cmos), reference_point(cmos));
+        }
+    }
+}
+
 mod mixsig_properties {
     use mixsig::Matrix;
     use proptest::prelude::*;
