@@ -1,0 +1,147 @@
+//! Fixed-grid vs adaptive points-to-equal-accuracy — the wall-clock and
+//! point-count case for enclosure-driven refinement.
+//!
+//! The DUT is a high-Q (Q = 10) active-RC biquad whose +20 dB resonance
+//! knee spans a fraction of an octave: a fixed 20-point log grid visibly
+//! undersamples it, so the reconstruction between grid points misses
+//! most of the peak. The adaptive sweep starts from an 8-point seed and
+//! bisects where the measured bend (and enclosure width) says the curve
+//! is under-resolved.
+//!
+//! Before any timing is printed, the harness asserts:
+//!
+//! * the adaptive sweep **matches or beats** the fixed grid's worst-case
+//!   reconstruction error with **≥ 30 % fewer measured points**, and
+//! * a parallel adaptive run is **bit-identical** to the serial one.
+//!
+//! Run with `cargo bench --bench adaptive`; `-- --smoke` runs the
+//! reduced workload CI exercises under `--release`.
+
+use std::time::{Duration, Instant};
+
+use dut::ActiveRcFilter;
+use mixsig::units::{Hertz, Volts};
+use netan::{
+    log_spaced, reconstruction_error_db, AnalyzerConfig, BodePlot, NetworkAnalyzer,
+    RefinementPolicy, SweepEngine,
+};
+
+/// Sweep span: the gently driven high-Q DUT is measurable (output above
+/// the guaranteed error floor) from the passband through the first
+/// stopband decade.
+const F_LO: f64 = 200.0;
+const F_HI: f64 = 5_000.0;
+const FIXED_POINTS: usize = 20;
+const SEED_POINTS: usize = 8;
+const PROBES: usize = 256;
+
+fn analyzer_config(periods: u32, warmup: u32) -> AnalyzerConfig {
+    // The resonance peaks at ≈ +20 dB; a 60 mV stimulus keeps the peak
+    // output inside the modulator's stable range.
+    AnalyzerConfig {
+        warmup_periods: warmup,
+        ..AnalyzerConfig::ideal()
+            .with_periods(periods)
+            .with_va_diff(Volts(0.030))
+    }
+}
+
+fn fixed_sweep(dut: &ActiveRcFilter, cfg: AnalyzerConfig, engine: &SweepEngine) -> BodePlot {
+    let mut na = NetworkAnalyzer::new(dut, cfg);
+    na.sweep_with(engine, &log_spaced(Hertz(F_LO), Hertz(F_HI), FIXED_POINTS))
+        .expect("fixed sweep failed")
+}
+
+fn adaptive_sweep(
+    dut: &ActiveRcFilter,
+    cfg: AnalyzerConfig,
+    engine: &SweepEngine,
+    policy: &RefinementPolicy,
+) -> BodePlot {
+    let mut na = NetworkAnalyzer::new(dut, cfg);
+    na.sweep_adaptive_with(
+        engine,
+        &log_spaced(Hertz(F_LO), Hertz(F_HI), SEED_POINTS),
+        policy,
+    )
+    .expect("adaptive sweep failed")
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (periods, warmup, reps) = if smoke { (50, 10, 3) } else { (100, 20, 5) };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let dut = ActiveRcFilter::new(Hertz(1000.0), 10.0, 1.0);
+    let cfg = analyzer_config(periods, warmup);
+    // ≥ 30 % fewer points than the fixed grid, by policy cap.
+    let budget = FIXED_POINTS * 7 / 10;
+    let policy = RefinementPolicy::new(0.25).with_max_points(budget);
+
+    // ------------------------------------------------------------------
+    // Accuracy gate (before any timing): points-to-equal-accuracy.
+    // ------------------------------------------------------------------
+    let serial = SweepEngine::serial();
+    let fixed = fixed_sweep(&dut, cfg, &serial);
+    let adaptive = adaptive_sweep(&dut, cfg, &serial, &policy);
+    let e_fixed =
+        reconstruction_error_db(&fixed, &dut, PROBES).expect("fixed reconstruction error");
+    let e_adaptive =
+        reconstruction_error_db(&adaptive, &dut, PROBES).expect("adaptive reconstruction error");
+    assert!(
+        adaptive.len() <= budget,
+        "adaptive used {} points, budget {budget}",
+        adaptive.len()
+    );
+    assert!(
+        e_adaptive <= e_fixed,
+        "adaptive ({} pts, {e_adaptive:.3} dB) must reach the fixed grid's \
+         worst-case error ({FIXED_POINTS} pts, {e_fixed:.3} dB)",
+        adaptive.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Determinism gate: parallel adaptive == serial adaptive, bitwise.
+    // ------------------------------------------------------------------
+    let parallel = adaptive_sweep(&dut, cfg, &SweepEngine::with_threads(4), &policy);
+    assert_eq!(
+        adaptive, parallel,
+        "parallel adaptive sweep diverged from the serial reference"
+    );
+
+    let saved = 100.0 * (1.0 - adaptive.len() as f64 / FIXED_POINTS as f64);
+    println!(
+        "adaptive_{mode}/accuracy  fixed {FIXED_POINTS} pts → {e_fixed:.2} dB worst; \
+         adaptive {} pts → {e_adaptive:.2} dB worst ({saved:.0}% fewer points; \
+         bit-identical parallel: yes)",
+        adaptive.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Timing: the point count is the cost model (every point is a full
+    // simulated acquisition), so adaptive should also win wall-clock.
+    // ------------------------------------------------------------------
+    let t_fixed = best_of(reps, || fixed_sweep(&dut, cfg, &serial));
+    let t_adaptive = best_of(reps, || adaptive_sweep(&dut, cfg, &serial, &policy));
+    println!(
+        "adaptive_{mode}/serial    fixed {t_fixed:>12?}   adaptive {t_adaptive:>12?}   ({:.2}x, M = {periods})",
+        t_fixed.as_secs_f64() / t_adaptive.as_secs_f64().max(1e-12)
+    );
+    let t_par = best_of(reps, || {
+        adaptive_sweep(&dut, cfg, &SweepEngine::with_threads(4), &policy)
+    });
+    println!(
+        "adaptive_{mode}/parallel  adaptive(4 workers) {t_par:>12?}   ({:.2}x vs serial adaptive)",
+        t_adaptive.as_secs_f64() / t_par.as_secs_f64().max(1e-12)
+    );
+}

@@ -25,11 +25,11 @@ fn main() {
     }
     println!(
         "worst gain deviation from analytic response: {:.3} dB",
-        plot.worst_gain_error_db()
+        plot.worst_gain_error_db().unwrap_or(f64::NAN)
     );
     println!(
         "enclosure coverage of analytic response: {:.0} %",
-        100.0 * plot.gain_coverage()
+        100.0 * plot.gain_coverage().unwrap_or(f64::NAN)
     );
     println!(
         "\nshape checks (paper): flat passband ≈0 dB, −3 dB at 1 kHz,\n\

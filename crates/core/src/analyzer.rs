@@ -134,6 +134,9 @@ pub struct BodePoint {
     pub ideal_gain_db: f64,
     /// The DUT's nominal analytic phase at this frequency, degrees.
     pub ideal_phase_deg: f64,
+    /// Refinement provenance: the adaptive-refinement round that placed
+    /// this point (0 for seed-grid points and for every fixed-grid sweep).
+    pub round: u32,
 }
 
 /// The on-chip network analyzer bound to a device under test.
@@ -218,7 +221,7 @@ impl<'d> NetworkAnalyzer<'d> {
 
     /// Measures one Bode point against an explicit stimulus
     /// characterization. Takes `&self`: every sweep point is an
-    /// independent simulation, so [`SweepEngine`](crate::SweepEngine)
+    /// independent simulation, so [`SweepEngine`]
     /// workers can share one analyzer across threads. The acquisition is
     /// driven block-wise end to end (generator → DUT → ΣΔ consume
     /// [`AnalyzerConfig::block_samples`]-sized blocks), bit-identical to
@@ -264,6 +267,7 @@ impl<'d> NetworkAnalyzer<'d> {
             phase_deg,
             ideal_gain_db: self.dut.ideal_magnitude_db(f_wave),
             ideal_phase_deg: self.dut.ideal_phase_deg(f_wave),
+            round: 0,
         })
     }
 
@@ -325,6 +329,50 @@ impl<'d> NetworkAnalyzer<'d> {
         let mut points = self.measure_points(frequencies, engine)?;
         crate::sweep::unwrap_phase_by_continuity(&mut points);
         Ok(BodePlot::new(points))
+    }
+
+    /// Adaptively sweeps the analyzer: measures `seed`, then refines per
+    /// `policy` — bisecting the intervals whose local gain/phase bend and
+    /// endpoint enclosure widths score worst — until the policy is met.
+    /// Serial; see [`sweep_adaptive_with`](Self::sweep_adaptive_with) to
+    /// fan each round's batch across a [`SweepEngine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::EmptySweep`] for an empty seed and
+    /// propagates per-point errors.
+    pub fn sweep_adaptive(
+        &mut self,
+        seed: &[Hertz],
+        policy: &crate::adaptive::RefinementPolicy,
+    ) -> Result<BodePlot, NetanError> {
+        self.sweep_adaptive_with(&SweepEngine::serial(), seed, policy)
+    }
+
+    /// Like [`sweep_adaptive`](Self::sweep_adaptive), but measures each
+    /// round's candidate batch through `engine`. Bit-identical to the
+    /// serial path: refinement decisions depend only on measured values
+    /// and candidates are ordered deterministically before dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetanError::EmptySweep`] for an empty seed, the
+    /// lowest-index [`NetanError::InvalidFrequency`] before calibration
+    /// or any simulation, and propagates per-point errors.
+    pub fn sweep_adaptive_with(
+        &mut self,
+        engine: &SweepEngine,
+        seed: &[Hertz],
+        policy: &crate::adaptive::RefinementPolicy,
+    ) -> Result<BodePlot, NetanError> {
+        if seed.is_empty() {
+            return Err(NetanError::EmptySweep);
+        }
+        for &f in seed {
+            Self::validate_frequency(f)?;
+        }
+        let cal = self.ensure_calibrated()?;
+        crate::adaptive::AdaptiveSweep::with_engine(*policy, *engine).run(self, cal, seed)
     }
 
     /// Measures harmonics `1..=max_harmonic` of the DUT output at `f_wave`

@@ -23,6 +23,14 @@ pub enum NetanError {
         /// Monte-Carlo seed of the offending device.
         seed: u64,
     },
+    /// A planned evaluation length does not fit the hardware's `M`
+    /// counter: the tolerance/level combination demands more periods than
+    /// a `u32` can hold. Relax the tolerance or raise the expected level.
+    PlanOverflow {
+        /// Periods the plan would need (saturating; `u64::MAX` when the
+        /// requirement is not even finite).
+        required_periods: u64,
+    },
 }
 
 impl std::fmt::Display for NetanError {
@@ -42,6 +50,14 @@ impl std::fmt::Display for NetanError {
                     f,
                     "stimulus frequency must be positive, got {} Hz",
                     *hz_millis as f64 / 1000.0
+                )
+            }
+            NetanError::PlanOverflow { required_periods } => {
+                write!(
+                    f,
+                    "planned evaluation length overflows the period counter \
+                     (≥ {required_periods} periods required); relax the \
+                     tolerance or raise the expected level"
                 )
             }
         }
@@ -78,6 +94,11 @@ mod tests {
         let d = NetanError::DeviceNotSimulable { seed: 17 };
         assert!(d.to_string().contains("17"));
         assert!(d.to_string().contains("non-finite"));
+        let p = NetanError::PlanOverflow {
+            required_periods: 5_000_000_000,
+        };
+        assert!(p.to_string().contains("5000000000"));
+        assert!(p.to_string().contains("overflows"));
     }
 
     #[test]

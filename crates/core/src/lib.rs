@@ -17,6 +17,10 @@
 //! * a **frequency sweep** planner (log grid, constant `N`),
 //! * a **parallel sweep engine** ([`SweepEngine`]) that fans independent
 //!   sweep points out across worker threads with bit-identical results,
+//! * **adaptive refinement** ([`AdaptiveSweep`]): rounds of
+//!   curvature/enclosure-scored bisection that concentrate points where
+//!   the response bends, on the same engine and with the same
+//!   serial == parallel bit-identity,
 //! * a **parallel lot engine** ([`LotEngine`]) that fans whole
 //!   Monte-Carlo devices across the same worker-pool primitive with a
 //!   shared, amortized calibration — the paper's production-screening
@@ -41,6 +45,7 @@
 //! # Ok::<(), netan::NetanError>(())
 //! ```
 
+pub mod adaptive;
 pub mod analyzer;
 pub mod engine;
 pub mod error;
@@ -52,6 +57,7 @@ pub mod report;
 pub mod spec;
 pub mod sweep;
 
+pub use adaptive::{interpolate_gain_db, reconstruction_error_db, AdaptiveSweep, RefinementPolicy};
 pub use analyzer::{AnalyzerConfig, BodePoint, Calibration, HardwareProfile, NetworkAnalyzer};
 pub use engine::SweepEngine;
 pub use error::NetanError;

@@ -28,6 +28,7 @@
 //! [`lot_csv`](crate::report::lot_csv) or
 //! [`lot_json`](crate::report::lot_json).
 
+use crate::adaptive::{AdaptiveSweep, RefinementPolicy};
 use crate::analyzer::{AnalyzerConfig, BodePoint, Calibration, NetworkAnalyzer};
 use crate::engine::SweepEngine;
 use crate::error::NetanError;
@@ -43,12 +44,17 @@ use mixsig::units::Hertz;
 /// The effective grid is the union of the requested grid and the mask
 /// frequencies, sorted ascending and deduplicated, so every mask point is
 /// always measured and the phase-unwrap pass sees an ordered sweep.
+///
+/// An [`adaptive`](Self::adaptive) plan additionally refines each
+/// device's sweep around wherever its response bends — the grid then
+/// serves as the refinement *seed*, and the measured plot is a superset
+/// of it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LotPlan {
     grid: Vec<Hertz>,
     mask: GainMask,
-    /// For each mask point, the index of its frequency in `grid`.
-    mask_indices: Vec<usize>,
+    /// Per-device adaptive refinement on top of the grid, if requested.
+    refinement: Option<RefinementPolicy>,
 }
 
 impl LotPlan {
@@ -59,20 +65,10 @@ impl LotPlan {
         freqs.extend(mask.frequencies());
         freqs.sort_by(|a, b| a.value().total_cmp(&b.value()));
         freqs.dedup_by_key(|f| f.value().to_bits());
-        let mask_indices = mask
-            .points()
-            .iter()
-            .map(|p| {
-                freqs
-                    .iter()
-                    .position(|f| f.value().to_bits() == p.frequency.value().to_bits())
-                    .expect("mask frequency present by construction")
-            })
-            .collect();
         Self {
             grid: freqs,
             mask,
-            mask_indices,
+            refinement: None,
         }
     }
 
@@ -80,6 +76,23 @@ impl LotPlan {
     /// go/no-go sweep.
     pub fn from_mask(mask: GainMask) -> Self {
         Self::new(&[], mask)
+    }
+
+    /// An adaptive plan: every device measures the grid ∪ mask seed and
+    /// then refines per `policy`, so resolution concentrates around the
+    /// mask frequencies and each fabricated device's own response knee.
+    /// Mask classification is unchanged — mask frequencies are always in
+    /// the seed, hence always measured.
+    pub fn adaptive(grid: &[Hertz], mask: GainMask, policy: RefinementPolicy) -> Self {
+        Self {
+            refinement: Some(policy),
+            ..Self::new(grid, mask)
+        }
+    }
+
+    /// The per-device refinement policy, if this is an adaptive plan.
+    pub fn refinement(&self) -> Option<&RefinementPolicy> {
+        self.refinement.as_ref()
     }
 
     /// The effective sweep grid (ascending, deduplicated).
@@ -92,7 +105,9 @@ impl LotPlan {
         &self.mask
     }
 
-    /// Classifies a measured point set (in grid order) against the mask.
+    /// Classifies a measured point set taken over exactly the plan grid.
+    /// Thin strictness wrapper over [`classify_plot`](Self::classify_plot)
+    /// for callers that expect a fixed-grid plot.
     ///
     /// # Panics
     ///
@@ -103,7 +118,29 @@ impl LotPlan {
             self.grid.len(),
             "measured points must match the plan grid"
         );
-        let masked: Vec<BodePoint> = self.mask_indices.iter().map(|&i| points[i]).collect();
+        self.classify_plot(points)
+    }
+
+    /// Classifies a measured point set that contains *at least* every
+    /// mask frequency — e.g. an adaptively refined sweep, whose plot is a
+    /// superset of the plan grid. Mask points are located by frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask frequency is missing from `points` (impossible
+    /// for plots produced from this plan, whose seed contains the mask).
+    pub fn classify_plot(&self, points: &[BodePoint]) -> SpecVerdict {
+        let masked: Vec<BodePoint> = self
+            .mask
+            .points()
+            .iter()
+            .map(|mp| {
+                *points
+                    .iter()
+                    .find(|p| p.frequency.value().to_bits() == mp.frequency.value().to_bits())
+                    .expect("mask frequency measured by construction")
+            })
+            .collect();
         self.mask.classify(&masked)
     }
 }
@@ -357,10 +394,21 @@ impl LotEngine {
             }
         }
         let analyzer = NetworkAnalyzer::new(&device, config);
-        let mut points = self.point_engine.measure(&analyzer, cal, plan.grid())?;
-        unwrap_phase_by_continuity(&mut points);
-        let plot = BodePlot::new(points);
-        let verdict = plan.classify(plot.points());
+        let plot = match plan.refinement() {
+            None => {
+                let mut points = self.point_engine.measure(&analyzer, cal, plan.grid())?;
+                unwrap_phase_by_continuity(&mut points);
+                BodePlot::new(points)
+            }
+            // Adaptive plan: the grid ∪ mask union seeds refinement, so
+            // each device also resolves its own (mismatch-shifted) knee.
+            Some(&policy) => AdaptiveSweep::with_engine(policy, self.point_engine).run(
+                &analyzer,
+                cal,
+                plan.grid(),
+            )?,
+        };
+        let verdict = plan.classify_plot(plot.points());
         let fit = plot.fit_lowpass_biquad();
         Ok(DeviceReport {
             seed,

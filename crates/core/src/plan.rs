@@ -14,6 +14,7 @@
 //!
 //! for a target of ±δ dB around an expected amplitude `A`.
 
+use crate::error::NetanError;
 use mixsig::clock::OVERSAMPLING_RATIO;
 use mixsig::units::{Hertz, Seconds};
 use sdeval::EPSILON_BOUND;
@@ -38,6 +39,15 @@ pub struct TestPlan {
 /// Conservative: uses the worst-case ε-corner of paper eq. (4) with the
 /// asymptotic demodulation gain `2/π`.
 ///
+/// # Errors
+///
+/// Returns [`NetanError::PlanOverflow`] when the required period count
+/// does not fit the hardware's `u32` counter — a `tolerance_db` tight
+/// enough (or an `expected_volts` small enough) to demand it cannot be
+/// delivered in one acquisition. The period arithmetic stays in `f64`
+/// until the explicit cap check, so no intermediate cast can saturate or
+/// wrap.
+///
 /// # Panics
 ///
 /// Panics if `expected_volts`, `tolerance_db` or `f_wave` are not
@@ -47,7 +57,7 @@ pub fn plan_measurement(
     tolerance_db: f64,
     f_wave: Hertz,
     vref: f64,
-) -> TestPlan {
+) -> Result<TestPlan, NetanError> {
     assert!(expected_volts > 0.0, "expected amplitude must be positive");
     assert!(tolerance_db > 0.0, "tolerance must be positive");
     assert!(f_wave.value() > 0.0, "stimulus frequency must be positive");
@@ -56,17 +66,32 @@ pub fn plan_measurement(
     let eps_rss = EPSILON_BOUND * std::f64::consts::SQRT_2;
     let growth = 10f64.powf(tolerance_db / 20.0) - 1.0;
     let m_raw = FRAC_PI_2 * vref * eps_rss / (n * expected_volts * growth);
-    let mut m = m_raw.ceil() as u32;
-    m += m % 2; // validity: M even
+    let m_ceil = m_raw.ceil();
+    // Largest even period count a u32 can hold. The old `as u32` cast
+    // saturated to the odd u32::MAX here, and the evenness bump then
+    // wrapped to 0 (panicking in debug builds).
+    const MAX_EVEN_PERIODS: f64 = (u32::MAX - 1) as f64;
+    if !m_ceil.is_finite() || m_ceil > MAX_EVEN_PERIODS {
+        return Err(NetanError::PlanOverflow {
+            // Saturating f64 → u64 cast; u64::MAX for a non-finite demand.
+            required_periods: if m_ceil.is_finite() {
+                m_ceil as u64
+            } else {
+                u64::MAX
+            },
+        });
+    }
+    let mut m = m_ceil as u32;
+    m += m % 2; // validity: M even (≤ u32::MAX − 1 by the cap above)
     let m = m.max(2);
-    let samples = m as u64 * OVERSAMPLING_RATIO as u64;
+    let samples = u64::from(m) * OVERSAMPLING_RATIO as u64;
     // Chopped acquisition doubles the sample count.
     let test_time = Seconds(2.0 * samples as f64 / (f_wave.value() * n));
-    TestPlan {
+    Ok(TestPlan {
         periods: m,
         samples,
         test_time,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -77,8 +102,8 @@ mod tests {
 
     #[test]
     fn planned_m_is_even_and_scales() {
-        let a = plan_measurement(0.2, 0.1, Hertz(1000.0), 1.0);
-        let b = plan_measurement(0.02, 0.1, Hertz(1000.0), 1.0);
+        let a = plan_measurement(0.2, 0.1, Hertz(1000.0), 1.0).unwrap();
+        let b = plan_measurement(0.02, 0.1, Hertz(1000.0), 1.0).unwrap();
         assert_eq!(a.periods % 2, 0);
         // 10× smaller amplitude → ≈10× more periods.
         let ratio = b.periods as f64 / a.periods as f64;
@@ -87,8 +112,8 @@ mod tests {
 
     #[test]
     fn planned_time_scales_inverse_frequency() {
-        let slow = plan_measurement(0.2, 0.1, Hertz(100.0), 1.0);
-        let fast = plan_measurement(0.2, 0.1, Hertz(10_000.0), 1.0);
+        let slow = plan_measurement(0.2, 0.1, Hertz(100.0), 1.0).unwrap();
+        let fast = plan_measurement(0.2, 0.1, Hertz(10_000.0), 1.0).unwrap();
         assert!((slow.test_time.value() / fast.test_time.value() - 100.0).abs() < 1e-6);
     }
 
@@ -97,7 +122,7 @@ mod tests {
         // Run the planned measurement and verify the enclosure half-width
         // honours the requested tolerance.
         for &(a, tol) in &[(0.2f64, 0.2f64), (0.05, 0.5), (0.01, 1.0)] {
-            let plan = plan_measurement(a, tol, Hertz(1000.0), 1.0);
+            let plan = plan_measurement(a, tol, Hertz(1000.0), 1.0).unwrap();
             let mut ev = SinewaveEvaluator::new(EvaluatorConfig::ideal());
             let tone = Tone::new(1.0 / 96.0, a, 0.3);
             let mut n = 0usize;
@@ -121,7 +146,7 @@ mod tests {
     fn paper_bode_setting_accuracy() {
         // The paper's M = 200 at the ≈0.3 V stimulus: the plan inverts to
         // the same order of magnitude for a ≈0.03 dB target.
-        let plan = plan_measurement(0.3, 0.027, Hertz(1000.0), 1.0);
+        let plan = plan_measurement(0.3, 0.027, Hertz(1000.0), 1.0).unwrap();
         assert!(
             plan.periods >= 100 && plan.periods <= 400,
             "{}",
@@ -133,5 +158,33 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_amplitude_rejected() {
         let _ = plan_measurement(0.0, 0.1, Hertz(1000.0), 1.0);
+    }
+
+    #[test]
+    fn tight_tolerance_overflow_is_an_error() {
+        // Regression: tolerance_db = 1e-9 demands > u32::MAX periods at a
+        // 0.1 V expected level. The old u32 arithmetic saturated the cast
+        // to the odd u32::MAX and then wrapped (panicking in debug) on the
+        // evenness bump; now the cap is explicit and reported.
+        use crate::error::NetanError;
+        let err = plan_measurement(0.1, 1e-9, Hertz(1000.0), 1.0).unwrap_err();
+        match err {
+            NetanError::PlanOverflow { required_periods } => {
+                assert!(required_periods > u64::from(u32::MAX), "{required_periods}");
+            }
+            other => panic!("expected PlanOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn near_cap_plans_stay_even_and_in_range() {
+        // Just inside the cap the plan must come back even without any
+        // wrap. 0.107 V at 1e-9 dB lands a little below u32::MAX periods.
+        if let Ok(plan) = plan_measurement(0.107, 1e-9, Hertz(1000.0), 1.0) {
+            assert_eq!(plan.periods % 2, 0);
+            assert!(plan.periods >= 2);
+        }
+        // Either way the extreme case is deterministic — no panic.
+        let _ = plan_measurement(1e-12, 1e-12, Hertz(1000.0), 1.0).unwrap_err();
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! JSON documents are hand-rendered (the workspace builds fully offline,
 //! so there is no serde) and self-describing via a `"schema"` field:
-//! `netan.bode.v1` for [`bode_json`] and `netan.lot.v1` for [`lot_json`].
-//! Numbers use Rust's shortest round-trip `f64` formatting; non-finite
-//! values render as `null`.
+//! `netan.bode.v2` for [`bode_json`] (v2 added the per-point `"round"`
+//! refinement provenance; v1 documents remain readable by the
+//! `plot_report` consumer) and `netan.lot.v1` for [`lot_json`]. Numbers
+//! use Rust's shortest round-trip `f64` formatting; non-finite values
+//! render as `null`.
 
 use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
@@ -47,15 +49,17 @@ pub fn bode_table(plot: &BodePlot) -> String {
     out
 }
 
-/// Renders a Bode plot as CSV with a header row.
+/// Renders a Bode plot as CSV with a header row. The trailing `round`
+/// column is the adaptive-refinement provenance (0 for fixed-grid
+/// sweeps and seed points).
 pub fn bode_csv(plot: &BodePlot) -> String {
     let mut out = String::from(
-        "freq_hz,gain_db,gain_db_lo,gain_db_hi,ideal_gain_db,phase_deg,phase_deg_lo,phase_deg_hi,ideal_phase_deg\n",
+        "freq_hz,gain_db,gain_db_lo,gain_db_hi,ideal_gain_db,phase_deg,phase_deg_lo,phase_deg_hi,ideal_phase_deg,round\n",
     );
     for p in plot.points() {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             p.frequency.value(),
             p.gain_db.est,
             p.gain_db.lo,
@@ -65,6 +69,7 @@ pub fn bode_csv(plot: &BodePlot) -> String {
             p.phase_deg.lo,
             p.phase_deg.hi,
             p.ideal_phase_deg,
+            p.round,
         );
     }
     out
@@ -92,14 +97,18 @@ pub fn lot_table(report: &LotReport) -> String {
             Some(fit) => (format!("{:.1}", fit.f0.value()), format!("{:.4}", fit.q)),
             None => (String::from("-"), String::from("-")),
         };
+        let worst = match d.plot.worst_gain_error_db() {
+            Some(e) => format!("{e:.3}"),
+            None => String::from("-"),
+        };
         let _ = writeln!(
             out,
-            "{:>8} {:>10} {:>12} {:>8} {:>16.3}",
+            "{:>8} {:>10} {:>12} {:>8} {:>16}",
             d.seed,
             verdict_str(d.verdict),
             f0,
             q,
-            d.plot.worst_gain_error_db(),
+            worst,
         );
     }
     let c = report.counts();
@@ -136,6 +145,12 @@ pub fn lot_csv(report: &LotReport) -> String {
             .cutoff_frequency()
             .map(|f| f.value().to_string())
             .unwrap_or_default();
+        // An empty plot renders an empty field, not a fake perfect 0.
+        let worst = d
+            .plot
+            .worst_gain_error_db()
+            .map(|e| e.to_string())
+            .unwrap_or_default();
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{}",
@@ -145,7 +160,7 @@ pub fn lot_csv(report: &LotReport) -> String {
             f0,
             q,
             cutoff,
-            d.plot.worst_gain_error_db(),
+            worst,
         );
     }
     out
@@ -169,7 +184,7 @@ fn json_bounded(out: &mut String, b: &Bounded) {
     out.push('}');
 }
 
-fn json_bode_point(out: &mut String, p: &BodePoint) {
+fn json_bode_point(out: &mut String, p: &BodePoint, with_round: bool) {
     out.push_str("{\"freq_hz\":");
     json_f64(out, p.frequency.value());
     out.push_str(",\"gain_db\":");
@@ -180,24 +195,29 @@ fn json_bode_point(out: &mut String, p: &BodePoint) {
     json_f64(out, p.ideal_gain_db);
     out.push_str(",\"ideal_phase_deg\":");
     json_f64(out, p.ideal_phase_deg);
+    if with_round {
+        let _ = write!(out, ",\"round\":{}", p.round);
+    }
     out.push('}');
 }
 
-fn json_points(out: &mut String, points: &[BodePoint]) {
+fn json_points(out: &mut String, points: &[BodePoint], with_round: bool) {
     out.push('[');
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        json_bode_point(out, p);
+        json_bode_point(out, p, with_round);
     }
     out.push(']');
 }
 
-/// Renders a Bode plot as a JSON document (schema `netan.bode.v1`).
+/// Renders a Bode plot as a JSON document (schema `netan.bode.v2`; v2
+/// added the per-point `"round"` adaptive-refinement provenance, 0 for
+/// fixed-grid sweeps).
 pub fn bode_json(plot: &BodePlot) -> String {
-    let mut out = String::from("{\"schema\":\"netan.bode.v1\",\"points\":");
-    json_points(&mut out, plot.points());
+    let mut out = String::from("{\"schema\":\"netan.bode.v2\",\"points\":");
+    json_points(&mut out, plot.points(), true);
     out.push('}');
     out
 }
@@ -259,8 +279,9 @@ pub fn lot_json(report: &LotReport) -> String {
             Some(f) => json_f64(&mut out, f.value()),
             None => out.push_str("null"),
         }
+        // Lot documents stay at schema v1: no per-point round field.
         out.push_str(",\"points\":");
-        json_points(&mut out, d.plot.points());
+        json_points(&mut out, d.plot.points(), false);
         out.push('}');
     }
     out.push_str("]}");
@@ -307,6 +328,7 @@ mod tests {
             phase_deg: Bounded::new(-91.0, -90.0, -89.0),
             ideal_gain_db: -3.01,
             ideal_phase_deg: -90.0,
+            round: 0,
         }])
     }
 
@@ -323,10 +345,12 @@ mod tests {
         let c = bode_csv(&plot());
         let mut lines = c.lines();
         let header = lines.next().unwrap();
-        assert_eq!(header.split(',').count(), 9);
+        assert_eq!(header.split(',').count(), 10);
+        assert!(header.ends_with(",round"));
         let row = lines.next().unwrap();
-        assert_eq!(row.split(',').count(), 9);
+        assert_eq!(row.split(',').count(), 10);
         assert!(row.starts_with("1000"));
+        assert!(row.ends_with(",0"));
     }
 
     fn synthetic_lot() -> LotReport {
@@ -387,10 +411,19 @@ mod tests {
     #[test]
     fn bode_json_is_self_describing() {
         let j = bode_json(&plot());
-        assert!(j.starts_with("{\"schema\":\"netan.bode.v1\""));
+        assert!(j.starts_with("{\"schema\":\"netan.bode.v2\""));
         assert!(j.contains("\"freq_hz\":1000"));
         assert!(j.contains("\"gain_db\":{\"lo\":-3.1,\"est\":-3.01,\"hi\":-2.9}"));
+        assert!(j.contains("\"round\":0"));
         assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn lot_json_points_stay_schema_v1() {
+        // The lot document did not bump: no per-point round field.
+        let j = lot_json(&synthetic_lot());
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v1\""));
+        assert!(!j.contains("\"round\":"));
     }
 
     #[test]

@@ -171,6 +171,7 @@ mod tests {
             phase_deg: Bounded::point(0.0),
             ideal_gain_db: db,
             ideal_phase_deg: 0.0,
+            round: 0,
         };
         let pass = [mk(-0.1, 0.0, 0.1, 100.0), mk(-3.1, -3.0, -2.9, 1000.0)];
         assert_eq!(mask.classify(&pass), SpecVerdict::Pass);

@@ -83,38 +83,52 @@ impl BodePlot {
     }
 
     /// Worst absolute deviation of the gain estimate from the DUT's
-    /// analytic response, dB.
-    pub fn worst_gain_error_db(&self) -> f64 {
+    /// analytic response, dB. `None` for an empty plot — a report over
+    /// zero points must not read as "0 dB error" (perfect accuracy).
+    pub fn worst_gain_error_db(&self) -> Option<f64> {
         self.points
             .iter()
             .map(|p| (p.gain_db.est - p.ideal_gain_db).abs())
-            .fold(0.0, f64::max)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
     }
 
-    /// Fraction of points whose gain enclosure contains the analytic value.
-    pub fn gain_coverage(&self) -> f64 {
+    /// Fraction of points whose gain enclosure contains the analytic
+    /// value. `None` for an empty plot — zero points is not "100 %
+    /// coverage".
+    pub fn gain_coverage(&self) -> Option<f64> {
         if self.points.is_empty() {
-            return 1.0;
+            return None;
         }
         let hits = self
             .points
             .iter()
             .filter(|p| p.gain_db.lo <= p.ideal_gain_db && p.ideal_gain_db <= p.gain_db.hi)
             .count();
-        hits as f64 / self.points.len() as f64
+        Some(hits as f64 / self.points.len() as f64)
     }
 
     /// The −3 dB frequency estimated by linear interpolation on the
     /// measured gain curve (None if the curve never crosses −3 dB relative
     /// to the first point).
+    ///
+    /// A plateau sitting exactly on the target gain counts as a crossing
+    /// at its leading edge: two adjacent points with equal gains can only
+    /// satisfy the sign test when both sit on the target, and skipping
+    /// them (as this method once did) either misses the crossing or
+    /// reports the plateau's trailing edge instead.
     pub fn cutoff_frequency(&self) -> Option<Hertz> {
         let reference = self.points.first()?.gain_db.est;
         let target = reference - 3.0103;
         for w in self.points.windows(2) {
             let (a, b) = (&w[0], &w[1]);
-            if (a.gain_db.est - target) * (b.gain_db.est - target) <= 0.0
-                && a.gain_db.est != b.gain_db.est
-            {
+            // NaN products fail this test too, so dead windows are skipped.
+            if (a.gain_db.est - target) * (b.gain_db.est - target) <= 0.0 {
+                if a.gain_db.est == b.gain_db.est {
+                    // Sign test passed with equal endpoints ⇒ both sit
+                    // exactly on the target: the crossing is the plateau's
+                    // leading edge.
+                    return Some(a.frequency);
+                }
                 let t = (target - a.gain_db.est) / (b.gain_db.est - a.gain_db.est);
                 let lf = a.frequency.value().ln()
                     + t * (b.frequency.value().ln() - a.frequency.value().ln());
@@ -258,6 +272,7 @@ mod tests {
             phase_deg: Bounded::point(0.0),
             ideal_gain_db: ideal_db,
             ideal_phase_deg: 0.0,
+            round: 0,
         }
     }
 
@@ -284,7 +299,7 @@ mod tests {
             synthetic_point(100.0, 0.0, 0.05), // inside ±0.1
             synthetic_point(200.0, 0.0, 0.5),  // outside
         ]);
-        assert!((plot.gain_coverage() - 0.5).abs() < 1e-12);
+        assert!((plot.gain_coverage().unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -293,7 +308,17 @@ mod tests {
             synthetic_point(100.0, 0.0, 0.05),
             synthetic_point(200.0, -3.0, -2.0),
         ]);
-        assert!((plot.worst_gain_error_db() - 1.0).abs() < 1e-12);
+        assert!((plot.worst_gain_error_db().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plot_metrics_are_none_not_perfect() {
+        // Regression: these reported 0.0 dB worst error and 100 %
+        // coverage on zero points, letting a lot report claim perfect
+        // accuracy for a device that measured nothing.
+        let empty = BodePlot::new(Vec::new());
+        assert_eq!(empty.worst_gain_error_db(), None);
+        assert_eq!(empty.gain_coverage(), None);
     }
 
     #[test]
@@ -306,6 +331,50 @@ mod tests {
         let fc = plot.cutoff_frequency().unwrap();
         assert!(
             (fc.value() - 1000.0).abs() / 1000.0 < 0.01,
+            "{}",
+            fc.value()
+        );
+    }
+
+    #[test]
+    fn cutoff_finds_leading_edge_of_exact_plateau() {
+        // Regression: a plateau sitting exactly on the −3 dB target was
+        // skipped by the equal-gains guard. With the windows before the
+        // plateau dead (a NaN point — e.g. a dropped measurement — makes
+        // their sign products NaN), the old code fell through to the
+        // plateau's *trailing* window, whose −0.0 product interpolated to
+        // the trailing edge at 2 kHz; the crossing is the leading edge at
+        // 1 kHz.
+        let target = -3.0103; // reference 0 dB − 3.0103
+        let dead = BodePoint {
+            gain_db: Bounded::point(f64::NAN),
+            ..synthetic_point(300.0, 0.0, 0.0)
+        };
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.0),
+            dead,
+            synthetic_point(1000.0, target, target),
+            synthetic_point(2000.0, target, target),
+            synthetic_point(10_000.0, -40.0, -40.0),
+        ]);
+        let fc = plot.cutoff_frequency().unwrap();
+        assert!((fc.value() - 1000.0).abs() < 1e-9, "{}", fc.value());
+    }
+
+    #[test]
+    fn cutoff_plateau_reached_through_measurement_still_leads() {
+        // The same plateau entered through a healthy descent: the entry
+        // window touches the target (product 0) and interpolates to the
+        // plateau start — the fix must not disturb that.
+        let plot = BodePlot::new(vec![
+            synthetic_point(100.0, 0.0, 0.0),
+            synthetic_point(1000.0, -3.0103, -3.0),
+            synthetic_point(2000.0, -3.0103, -3.0),
+            synthetic_point(10_000.0, -40.0, -40.0),
+        ]);
+        let fc = plot.cutoff_frequency().unwrap();
+        assert!(
+            (fc.value() - 1000.0).abs() / 1000.0 < 1e-9,
             "{}",
             fc.value()
         );
@@ -343,6 +412,7 @@ mod tests {
                     phase_deg: Bounded::point(0.0),
                     ideal_gain_db: 20.0 * gain.log10(),
                     ideal_phase_deg: 0.0,
+                    round: 0,
                 }
             })
             .collect()

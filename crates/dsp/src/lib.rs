@@ -5,7 +5,7 @@
 //!
 //! * [`complex`] — a minimal `Complex64` type,
 //! * [`fft`] — iterative radix-2 Cooley–Tukey FFT / inverse FFT,
-//! * [`goertzel`] — single-bin DFT evaluation,
+//! * [`goertzel`](mod@goertzel) — single-bin DFT evaluation,
 //! * [`window`] — spectral analysis windows and their gains,
 //! * [`spectrum`] — periodograms and peak bookkeeping,
 //! * [`metrics`] — THD, SFDR, SNR, SINAD, ENOB,

@@ -262,24 +262,71 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
 
-    /// Strategy producing `Vec`s of fixed length `len` from `element`.
-    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
-        VecStrategy { element, len }
+    /// A collection length: fixed or drawn per case from a range — the
+    /// shim's version of the real crate's `SizeRange` (`vec(s, 8)`,
+    /// `vec(s, 2..10)` and `vec(s, 2..=9)` all work).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
     }
 
-    /// Strategy returned by [`vec`].
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self { lo: len, hi: len }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range strategy");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range strategy");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s from `element`, with a fixed or ranged
+    /// length.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
-        len: usize,
+        len: SizeRange,
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            (0..self.len).map(|_| self.element.generate(rng)).collect()
+            let len = if self.len.hi == self.len.lo {
+                self.len.lo
+            } else {
+                let span = (self.len.hi - self.len.lo + 1) as u64;
+                self.len.lo + (rng.next_u64() % span) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
 }
@@ -405,6 +452,15 @@ mod tests {
         #[test]
         fn vec_and_map_compose(v in crate::collection::vec(-1.0f64..1.0, 8).prop_map(|v| v.len())) {
             prop_assert_eq!(v, 8);
+        }
+
+        #[test]
+        fn vec_with_ranged_length(
+            half_open in crate::collection::vec(0.0f64..1.0, 2..10),
+            inclusive in crate::collection::vec(0.0f64..1.0, 3..=5),
+        ) {
+            prop_assert!((2..10).contains(&half_open.len()), "{}", half_open.len());
+            prop_assert!((3..=5).contains(&inclusive.len()), "{}", inclusive.len());
         }
 
         #[test]

@@ -1,5 +1,7 @@
-//! Regenerates fig10-style gain/phase data from `netan.*.v1` JSON
-//! report documents (the ROADMAP's plotting-script item).
+//! Regenerates fig10-style gain/phase data from `netan.*` JSON report
+//! documents (the ROADMAP's plotting-script item). Reads `netan.bode.v1`,
+//! `netan.bode.v2` (v2 added the per-point adaptive-refinement `round`)
+//! and `netan.lot.v1`.
 //!
 //! ```sh
 //! # CSV from a saved report (bode or lot schema is auto-detected):
@@ -25,7 +27,7 @@ use std::fmt::Write as _;
 // ---------------------------------------------------------------------
 // Minimal JSON value model + recursive-descent parser. The workspace is
 // fully offline (no serde); the grammar below covers everything the
-// `netan.*.v1` emitters in `netan::report` produce.
+// `netan.*` emitters in `netan::report` produce.
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
@@ -251,7 +253,7 @@ impl<'a> Parser<'a> {
 
 const POINT_COLUMNS: &str = "freq_hz,gain_db_lo,gain_db_est,gain_db_hi,\
                              phase_deg_lo,phase_deg_est,phase_deg_hi,\
-                             ideal_gain_db,ideal_phase_deg";
+                             ideal_gain_db,ideal_phase_deg,round";
 
 fn f(v: Option<&Json>) -> f64 {
     v.and_then(Json::num).unwrap_or(f64::NAN)
@@ -261,9 +263,12 @@ fn push_point_row(out: &mut String, prefix: &str, p: &Json) {
     let g = p.get("gain_db");
     let ph = p.get("phase_deg");
     let bound = |b: Option<&Json>, field: &str| f(b.and_then(|b| b.get(field)));
+    // v1 documents (and lot points) carry no refinement provenance:
+    // everything is a round-0 (seed/fixed-grid) point.
+    let round = p.get("round").and_then(Json::num).unwrap_or(0.0);
     let _ = writeln!(
         out,
-        "{prefix}{},{},{},{},{},{},{},{},{}",
+        "{prefix}{},{},{},{},{},{},{},{},{},{}",
         f(p.get("freq_hz")),
         bound(g, "lo"),
         bound(g, "est"),
@@ -273,6 +278,7 @@ fn push_point_row(out: &mut String, prefix: &str, p: &Json) {
         bound(ph, "hi"),
         f(p.get("ideal_gain_db")),
         f(p.get("ideal_phase_deg")),
+        round,
     );
 }
 
@@ -350,9 +356,11 @@ fn main() {
     let doc = Parser::parse(&text).unwrap_or_else(|e| panic!("bad JSON: {e}"));
     let schema = doc.get("schema").and_then(Json::str).unwrap_or("");
     let csv = match schema {
-        "netan.bode.v1" => bode_csv(&doc),
+        "netan.bode.v1" | "netan.bode.v2" => bode_csv(&doc),
         "netan.lot.v1" => lot_csv_points(&doc),
-        other => panic!("unsupported schema {other:?} (expected netan.bode.v1 or netan.lot.v1)"),
+        other => {
+            panic!("unsupported schema {other:?} (expected netan.bode.v1/v2 or netan.lot.v1)")
+        }
     };
     print!("{csv}");
     eprintln!(

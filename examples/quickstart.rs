@@ -34,10 +34,11 @@ fn main() -> Result<(), netan::NetanError> {
             fc.value()
         );
     }
+    // Both metrics are None only for an empty plot; this sweep has points.
     println!(
         "worst |gain error| vs analytic: {:.3} dB; enclosure coverage: {:.0} %",
-        plot.worst_gain_error_db(),
-        100.0 * plot.gain_coverage()
+        plot.worst_gain_error_db().unwrap_or(f64::NAN),
+        100.0 * plot.gain_coverage().unwrap_or(f64::NAN)
     );
     Ok(())
 }

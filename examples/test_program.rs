@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // center gain; plan for ±0.2 dB guaranteed accuracy.
         let center_db = (point.min_db + point.max_db) / 2.0;
         let expected = 0.29 * 10f64.powf(center_db / 20.0);
-        let plan = plan_measurement(expected, 0.2, point.frequency, 1.0);
+        let plan = plan_measurement(expected, 0.2, point.frequency, 1.0)?;
         total += plan.test_time.value();
         println!(
             "{:>12.0} {:>14.4} {:>10} {:>14.2}",
@@ -47,6 +47,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         full.len(),
         96 / 3
     );
-    let _ = plan_measurement(0.29, 0.05, Hertz(1000.0), 1.0); // tighter spec → longer M
+    let _ = plan_measurement(0.29, 0.05, Hertz(1000.0), 1.0)?; // tighter spec → longer M
     Ok(())
 }

@@ -324,6 +324,151 @@ mod block_pipeline_properties {
     }
 }
 
+mod phase_unwrap_properties {
+    use mixsig::units::Hertz;
+    use netan::{sweep::unwrap_phase_by_continuity, BodePoint};
+    use proptest::prelude::*;
+    use sdeval::Bounded;
+
+    fn plot_from(phases: &[f64], widths: &[f64]) -> Vec<BodePoint> {
+        phases
+            .iter()
+            .zip(widths)
+            .enumerate()
+            .map(|(i, (&est, &w))| BodePoint {
+                frequency: Hertz(100.0 * 2f64.powi(i as i32)),
+                gain: Bounded::point(1.0),
+                gain_db: Bounded::point(0.0),
+                phase_deg: Bounded::new(est - w / 2.0, est, est + w / 2.0),
+                ideal_gain_db: 0.0,
+                ideal_phase_deg: 0.0,
+                round: 0,
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Every shift the continuity pass applies is an exact multiple
+        /// of 360°, and it lands consecutive estimates within 180° of
+        /// each other.
+        #[test]
+        fn shifts_are_whole_turns(
+            phases in proptest::collection::vec(-1000.0..1000.0f64, 2..10),
+        ) {
+            let widths = vec![1.0; phases.len()];
+            let mut pts = plot_from(&phases, &widths);
+            unwrap_phase_by_continuity(&mut pts);
+            for (p, &orig) in pts.iter().zip(&phases) {
+                let shift = p.phase_deg.est - orig;
+                let turns = (shift / 360.0).round();
+                prop_assert!(
+                    (shift - turns * 360.0).abs() < 1e-9,
+                    "shift {shift} is not a whole number of turns"
+                );
+            }
+            for w in pts.windows(2) {
+                prop_assert!((w[1].phase_deg.est - w[0].phase_deg.est).abs() <= 180.0);
+            }
+        }
+
+        /// The enclosure rides along rigidly: its width is preserved and
+        /// the estimate keeps its position inside the band.
+        #[test]
+        fn enclosure_width_is_preserved(
+            phases in proptest::collection::vec(-1000.0..1000.0f64, 2..10),
+            widths in proptest::collection::vec(0.0..30.0f64, 10),
+        ) {
+            let widths = &widths[..phases.len().min(widths.len())];
+            let phases = &phases[..widths.len()];
+            let mut pts = plot_from(phases, widths);
+            let before: Vec<f64> = pts.iter().map(|p| p.phase_deg.width()).collect();
+            unwrap_phase_by_continuity(&mut pts);
+            for (p, w0) in pts.iter().zip(before) {
+                prop_assert!(
+                    (p.phase_deg.width() - w0).abs() < 1e-9,
+                    "width changed: {} vs {w0}", p.phase_deg.width()
+                );
+                prop_assert!(p.phase_deg.lo <= p.phase_deg.est);
+                prop_assert!(p.phase_deg.est <= p.phase_deg.hi);
+            }
+        }
+
+        /// Unwrapping is idempotent: a second pass over an already
+        /// unwrapped sweep is a bitwise no-op.
+        #[test]
+        fn second_pass_is_identity(
+            phases in proptest::collection::vec(-1000.0..1000.0f64, 2..10),
+        ) {
+            let widths = vec![2.0; phases.len()];
+            let mut once = plot_from(&phases, &widths);
+            unwrap_phase_by_continuity(&mut once);
+            let mut twice = once.clone();
+            unwrap_phase_by_continuity(&mut twice);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+mod adaptive_properties {
+    use dut::ActiveRcFilter;
+    use mixsig::units::Hertz;
+    use netan::{log_spaced, AnalyzerConfig, BodePlot, NetworkAnalyzer, RefinementPolicy};
+    use proptest::prelude::*;
+
+    /// A fast adaptive sweep of the paper DUT (ideal hardware, M = 20).
+    fn adaptive_sweep(seed_points: usize, target_db: f64, max_points: usize) -> BodePlot {
+        let dut = ActiveRcFilter::paper_dut().linearized();
+        let cfg = AnalyzerConfig {
+            warmup_periods: 10,
+            ..AnalyzerConfig::ideal().with_periods(20)
+        };
+        let mut na = NetworkAnalyzer::new(&dut, cfg);
+        let seed = log_spaced(Hertz(200.0), Hertz(10_000.0), seed_points);
+        let policy = RefinementPolicy::new(target_db)
+            .with_max_points(max_points)
+            .with_max_rounds(3);
+        na.sweep_adaptive(&seed, &policy).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 5, // each case measures a full adaptive sweep
+            ..ProptestConfig::default()
+        })]
+
+        /// The refined grid is a superset of the seed grid, stays inside
+        /// the point cap, and every measured enclosure still contains the
+        /// DUT's analytic response — refinement spends points, it never
+        /// spends correctness.
+        #[test]
+        fn refinement_is_a_superset_and_keeps_enclosures(
+            seed_points in 4usize..7,
+            target_db in 0.2..0.8f64,
+        ) {
+            let max_points = 14;
+            let plot = adaptive_sweep(seed_points, target_db, max_points);
+            let seed = log_spaced(Hertz(200.0), Hertz(10_000.0), seed_points);
+            for f in &seed {
+                prop_assert!(
+                    plot.points().iter().any(
+                        |p| p.frequency.value().to_bits() == f.value().to_bits()
+                    ),
+                    "seed frequency {f} missing from refined grid"
+                );
+            }
+            prop_assert!(plot.len() >= seed_points && plot.len() <= max_points);
+            for p in plot.points() {
+                prop_assert!(
+                    p.gain_db.lo <= p.ideal_gain_db && p.ideal_gain_db <= p.gain_db.hi,
+                    "gain enclosure {} excludes analytic {} at {}",
+                    p.gain_db, p.ideal_gain_db, p.frequency
+                );
+            }
+            prop_assert_eq!(plot.gain_coverage(), Some(1.0));
+        }
+    }
+}
+
 mod mixsig_properties {
     use mixsig::Matrix;
     use proptest::prelude::*;

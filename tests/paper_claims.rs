@@ -157,5 +157,6 @@ fn audio_range_sweep_all_points_valid() {
         assert!(p.gain.width().is_finite() && p.gain.width() > 0.0);
         assert!(p.phase_deg.est.is_finite());
     }
-    assert!(plot.gain_coverage() > 0.9, "{}", plot.gain_coverage());
+    let coverage = plot.gain_coverage().expect("non-empty sweep");
+    assert!(coverage > 0.9, "{coverage}");
 }

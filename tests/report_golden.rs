@@ -82,7 +82,9 @@ fn lot_csv_rows_and_columns_are_pinned() {
 fn bode_json_round_trips_the_device_plot() {
     let report = small_seeded_lot();
     let json = bode_json(&report.devices()[0].plot);
-    assert!(json.starts_with("{\"schema\":\"netan.bode.v1\",\"points\":["));
+    assert!(json.starts_with("{\"schema\":\"netan.bode.v2\",\"points\":["));
     assert_eq!(json.matches("\"freq_hz\":").count(), 4);
+    // Fixed-grid sweeps carry round-0 provenance on every point.
+    assert_eq!(json.matches("\"round\":0").count(), 4);
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
