@@ -1,8 +1,22 @@
-//! Serial vs. parallel Monte-Carlo lot characterization: the wall-clock
-//! case for the `LotEngine`. Whole devices are independent simulations,
-//! so on an `n`-core machine the device-level fan-out should approach
-//! `n×`; calibration is amortized to one run per configuration either
-//! way. Reports are asserted bit-identical before any timing is printed.
+//! Serial vs. parallel Monte-Carlo lot characterization — the wall-clock
+//! case for the `LotEngine` — plus the escalated-screening variant: a
+//! budgeted multi-pass `EscalationSchedule` against the brute-force
+//! run-everything-at-the-deepest-`M` reference. Whole devices are
+//! independent simulations, so on an `n`-core machine the device-level
+//! fan-out should approach `n×`; calibration is amortized to one run per
+//! stage either way.
+//!
+//! Before any timing is printed the harness asserts:
+//!
+//! * parallel reports are bit-identical to the serial reference (plain
+//!   and escalated runs alike);
+//! * escalation's final verdicts **match the deepest-stage reference**
+//!   on the same seeds, to the exact extent the enclosure math
+//!   guarantees: bit-equal for devices that reached the deepest stage,
+//!   never contradicted (decided vs decided) for devices binned at a
+//!   cheaper one;
+//! * escalation spends **measurably less simulated test time** than the
+//!   deepest-stage reference.
 //!
 //! Run with `cargo bench --bench lot`; `cargo bench --bench lot --
 //! --smoke` runs a reduced lot (CI exercises the parallel paths under
@@ -11,23 +25,49 @@
 use std::time::{Duration, Instant};
 
 use dut::ActiveRcFilter;
-use netan::{AnalyzerConfig, GainMask, LotEngine, LotPlan, LotReport};
+use netan::{
+    AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan, LotReport, SpecVerdict,
+};
+
+fn factory(seed: u64) -> ActiveRcFilter {
+    ActiveRcFilter::paper_dut()
+        .linearized()
+        .fabricate(0.05, seed)
+}
+
+/// The escalated section fabricates at the screening example's σ = 9 %:
+/// wide enough that borderline parts actually come back `Ambiguous` at
+/// the fast stage, so the re-test fan-out is exercised, not just priced.
+fn borderline_factory(seed: u64) -> ActiveRcFilter {
+    ActiveRcFilter::paper_dut()
+        .linearized()
+        .fabricate(0.09, seed)
+}
 
 fn timed_run(
     engine: &LotEngine,
+    make: impl Fn(u64) -> ActiveRcFilter + Sync,
     seeds: &[u64],
     plan: &LotPlan,
     config: AnalyzerConfig,
 ) -> (LotReport, Duration) {
-    let factory = |seed: u64| {
-        ActiveRcFilter::paper_dut()
-            .linearized()
-            .fabricate(0.05, seed)
-    };
     let start = Instant::now();
     let report = engine
-        .run(factory, seeds, plan, config)
+        .run(make, seeds, plan, config)
         .expect("lot run failed");
+    (report, start.elapsed())
+}
+
+fn timed_escalated(
+    engine: &LotEngine,
+    seeds: &[u64],
+    plan: &LotPlan,
+    schedule: &EscalationSchedule,
+) -> (LotReport, Duration) {
+    let start = Instant::now();
+    let report = engine
+        .run_escalated(borderline_factory, seeds, plan, schedule)
+        .expect("escalated lot run failed");
     (report, start.elapsed())
 }
 
@@ -44,14 +84,15 @@ fn main() {
     let parallel_engine = LotEngine::auto();
 
     // Warm-up pass (page in code paths, steady-state CPU clocks).
-    let _ = timed_run(&serial_engine, &seeds[..2], &plan, config);
+    let _ = timed_run(&serial_engine, factory, &seeds[..2], &plan, config);
 
     // Best of two runs per engine: a single wall-clock sample on a noisy
     // shared runner is not a measurement.
-    let (serial_report, serial_time_a) = timed_run(&serial_engine, &seeds, &plan, config);
-    let (parallel_report, parallel_time_a) = timed_run(&parallel_engine, &seeds, &plan, config);
-    let (_, serial_time_b) = timed_run(&serial_engine, &seeds, &plan, config);
-    let (_, parallel_time_b) = timed_run(&parallel_engine, &seeds, &plan, config);
+    let (serial_report, serial_time_a) = timed_run(&serial_engine, factory, &seeds, &plan, config);
+    let (parallel_report, parallel_time_a) =
+        timed_run(&parallel_engine, factory, &seeds, &plan, config);
+    let (_, serial_time_b) = timed_run(&serial_engine, factory, &seeds, &plan, config);
+    let (_, parallel_time_b) = timed_run(&parallel_engine, factory, &seeds, &plan, config);
     let serial_time = serial_time_a.min(serial_time_b);
     let parallel_time = parallel_time_a.min(parallel_time_b);
 
@@ -77,6 +118,97 @@ fn main() {
         seeds.len() as f64 / parallel_time.as_secs_f64().max(1e-12),
         seeds.len() as f64 / serial_time.as_secs_f64().max(1e-12),
     );
+
+    // ------------------------------------------------------------------
+    // Escalated screening vs. everyone-at-the-deepest-M.
+    // ------------------------------------------------------------------
+    let stage_periods: &[u32] = if smoke { &[50, 100] } else { &[50, 200, 800] };
+    let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), stage_periods);
+    let deepest = *stage_periods.last().unwrap();
+    let deep_config = AnalyzerConfig::ideal().with_periods(deepest);
+
+    let (esc_serial, _) = timed_escalated(&serial_engine, &seeds, &plan, &schedule);
+    let (esc_parallel, esc_time_a) = timed_escalated(&parallel_engine, &seeds, &plan, &schedule);
+    let (deep_report, deep_time_a) = timed_run(
+        &parallel_engine,
+        borderline_factory,
+        &seeds,
+        &plan,
+        deep_config,
+    );
+    let (_, esc_time_b) = timed_escalated(&parallel_engine, &seeds, &plan, &schedule);
+    let (_, deep_time_b) = timed_run(
+        &parallel_engine,
+        borderline_factory,
+        &seeds,
+        &plan,
+        deep_config,
+    );
+    let esc_time = esc_time_a.min(esc_time_b);
+    let deep_time = deep_time_a.min(deep_time_b);
+
+    // Correctness gates, before any timing is reported.
+    assert_eq!(
+        esc_serial, esc_parallel,
+        "parallel escalated lot diverged from the serial reference"
+    );
+    // Verdict parity with the deepest-stage reference, asserted exactly
+    // as far as the enclosure math guarantees it: a device whose final
+    // stage IS the deepest stage ran the identical measurement, so its
+    // verdict must match bit for bit; a device decided at a cheaper
+    // stage holds the truth inside its (wider) enclosure, so the deep
+    // reference may at worst be Ambiguous about it — it can never
+    // contradict a decided Pass with Fail or vice versa.
+    let last_stage = stage_periods.len() - 1;
+    let decided = |v: SpecVerdict| v != SpecVerdict::Ambiguous;
+    for (e, d) in esc_parallel.devices().iter().zip(deep_report.devices()) {
+        if e.stage == last_stage {
+            assert_eq!(
+                e.verdict, d.verdict,
+                "seed {} reached the deepest stage (M = {deepest}) yet its verdict diverges \
+                 from the reference run at the same M",
+                e.seed
+            );
+        } else {
+            // With no budget, a device below the deepest stage is
+            // decided by construction — escalation would have continued
+            // otherwise.
+            assert!(decided(e.verdict), "seed {} stalled ambiguous", e.seed);
+            if decided(d.verdict) {
+                assert_eq!(
+                    e.verdict, d.verdict,
+                    "escalation binned seed {} as {:?} at M = {} but the deepest stage \
+                     (M = {deepest}) contradicts it with {:?}",
+                    e.seed, e.verdict, e.periods, d.verdict
+                );
+            }
+        }
+    }
+    let esc_spent = esc_parallel.spent().value();
+    let deep_spent = deep_report.spent().value();
+    assert!(
+        esc_spent < deep_spent,
+        "escalation spent {esc_spent:.1} s of simulated test time, not less than the \
+         deepest-stage reference's {deep_spent:.1} s"
+    );
+
+    let retested: usize = esc_parallel.stages()[1..].iter().map(|s| s.tested).sum();
+    println!(
+        "lot_{label}_escalated/{lot_size}_devices  stages {:?}  re-tests {retested}  \
+         (verdicts consistent with deepest stage: yes)",
+        stage_periods
+    );
+    println!(
+        "lot_{label}_escalated/{lot_size}_devices  simulated test time {esc_spent:.1} s vs \
+         {deep_spent:.1} s all-at-M={deepest}  ({:.1}x less)",
+        deep_spent / esc_spent
+    );
+    println!(
+        "lot_{label}_escalated/{lot_size}_devices  wall-clock {esc_time:>12?} vs {deep_time:>12?} \
+         all-at-M={deepest}  ({:.2}x)",
+        deep_time.as_secs_f64() / esc_time.as_secs_f64().max(1e-12)
+    );
+
     // On a multi-core machine the full-size device fan-out must actually
     // pay. Single-core runners are tolerated (the pool degenerates to the
     // serial path), and smoke mode only warns: its ~20 ms workload on a

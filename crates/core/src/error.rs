@@ -31,6 +31,18 @@ pub enum NetanError {
         /// requirement is not even finite).
         required_periods: u64,
     },
+    /// An escalation schedule's test-time budget cannot even cover the
+    /// stage-0 screening pass over the whole lot — no device would get a
+    /// verdict at all. Raise the budget, shrink the lot, or cheapen the
+    /// first stage.
+    BudgetExhausted {
+        /// Simulated milliseconds the stage-0 screening pass needs
+        /// (rounded up).
+        needed_ms: u64,
+        /// The schedule's budget in simulated milliseconds (rounded
+        /// down).
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for NetanError {
@@ -58,6 +70,19 @@ impl std::fmt::Display for NetanError {
                     "planned evaluation length overflows the period counter \
                      (≥ {required_periods} periods required); relax the \
                      tolerance or raise the expected level"
+                )
+            }
+            NetanError::BudgetExhausted {
+                needed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "test-time budget of {} s cannot cover the stage-0 \
+                     screening pass ({} s needed); raise the budget or \
+                     shrink the lot",
+                    *budget_ms as f64 / 1000.0,
+                    *needed_ms as f64 / 1000.0
                 )
             }
         }
@@ -99,6 +124,13 @@ mod tests {
         };
         assert!(p.to_string().contains("5000000000"));
         assert!(p.to_string().contains("overflows"));
+        let b = NetanError::BudgetExhausted {
+            needed_ms: 12_500,
+            budget_ms: 4_000,
+        };
+        assert!(b.to_string().contains("12.5 s"));
+        assert!(b.to_string().contains("4 s"));
+        assert!(b.to_string().contains("budget"));
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   Monte-Carlo devices across the same worker-pool primitive with a
 //!   shared, amortized calibration — the paper's production-screening
 //!   scenario at throughput,
+//! * **escalation scheduling** ([`EscalationSchedule`],
+//!   [`LotEngine::run_escalated`]): budgeted multi-pass re-testing that
+//!   screens the lot at a cheap `M` and re-tests only still-ambiguous
+//!   devices at deeper stages — the paper's accuracy-for-test-time trade
+//!   as an operational policy,
 //! * a **harmonic distortion** mode (paper Fig. 10c), serial or parallel
 //!   per harmonic,
 //! * **report sinks**: tables, CSV and JSON for Bode plots and lot
@@ -62,8 +67,10 @@ pub use analyzer::{AnalyzerConfig, BodePoint, Calibration, HardwareProfile, Netw
 pub use engine::SweepEngine;
 pub use error::NetanError;
 pub use harmonics::DistortionReport;
-pub use lot::{DeviceReport, LotEngine, LotPlan, LotReport, VerdictCounts};
-pub use plan::{plan_measurement, TestPlan};
+pub use lot::{
+    DeviceReport, EscalationSchedule, LotEngine, LotPlan, LotReport, StageSummary, VerdictCounts,
+};
+pub use plan::{measurement_time, plan_measurement, TestPlan};
 pub use report::{bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_table};
 pub use spec::{GainMask, MaskPoint, SpecVerdict};
 pub use sweep::{log_spaced, BodePlot, LowpassFit};

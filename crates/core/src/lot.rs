@@ -27,16 +27,32 @@
 //! [`lot_table`](crate::report::lot_table),
 //! [`lot_csv`](crate::report::lot_csv) or
 //! [`lot_json`](crate::report::lot_json).
+//!
+//! # Escalation
+//!
+//! The paper's central trade — accuracy (enclosure width) for test time
+//! (measurement periods `M`) — becomes an operational scheduling policy
+//! with an [`EscalationSchedule`]: [`LotEngine::run_escalated`] screens
+//! the whole lot at a cheap stage-0 configuration, then re-tests only the
+//! devices still [`SpecVerdict::Ambiguous`] at each deeper (larger-`M`)
+//! stage, amortizing one calibration per stage and fanning re-tests
+//! across the same pool. An optional test-time budget — simulated
+//! seconds, the currency of [`crate::plan::measurement_time`] — caps the
+//! total; escalation stops early when the budget is exhausted or no
+//! devices remain ambiguous. Hard enclosures make the policy sound: a
+//! deeper stage can only *narrow* an enclosure around the same truth, so
+//! a decided `Pass`/`Fail` is never re-tested and never flips.
 
 use crate::adaptive::{AdaptiveSweep, RefinementPolicy};
 use crate::analyzer::{AnalyzerConfig, BodePoint, Calibration, NetworkAnalyzer};
 use crate::engine::SweepEngine;
 use crate::error::NetanError;
+use crate::plan::measurement_time;
 use crate::pool;
 use crate::spec::{GainMask, SpecVerdict};
 use crate::sweep::{unwrap_phase_by_continuity, BodePlot, LowpassFit};
 use dut::{Bypass, Dut};
-use mixsig::units::Hertz;
+use mixsig::units::{Hertz, Seconds};
 
 /// A lot screening plan: the sweep grid and the gain mask to classify
 /// against.
@@ -145,6 +161,113 @@ impl LotPlan {
     }
 }
 
+/// An ordered multi-pass re-test schedule: stage 0 screens the whole
+/// lot, each later stage re-tests only the devices still
+/// [`SpecVerdict::Ambiguous`], and an optional budget caps the total
+/// simulated test time the lot may spend.
+///
+/// Stages must escalate — strictly increasing `periods` — so every
+/// re-test buys a narrower enclosure than the pass that left the device
+/// ambiguous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalationSchedule {
+    stages: Vec<AnalyzerConfig>,
+    budget: Option<Seconds>,
+}
+
+impl EscalationSchedule {
+    /// Builds a schedule from explicit per-stage analyzer configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or the stage `periods` are not
+    /// strictly increasing.
+    pub fn new(stages: Vec<AnalyzerConfig>) -> Self {
+        assert!(
+            !stages.is_empty(),
+            "an escalation schedule needs at least one stage"
+        );
+        for w in stages.windows(2) {
+            assert!(
+                w[0].periods < w[1].periods,
+                "escalation stages must strictly increase M ({} then {})",
+                w[0].periods,
+                w[1].periods
+            );
+        }
+        Self {
+            stages,
+            budget: None,
+        }
+    }
+
+    /// A schedule that varies only the evaluation length: one stage per
+    /// entry of `periods`, each `base` with that `M`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods` is empty or not strictly increasing.
+    pub fn from_periods(base: AnalyzerConfig, periods: &[u32]) -> Self {
+        Self::new(periods.iter().map(|&m| base.with_periods(m)).collect())
+    }
+
+    /// The paper's trade-off as a default policy: an ideal analyzer at
+    /// `M = 50 → 200 → 800` (quarter, nominal, and 4× the Bode setting),
+    /// no budget.
+    pub fn paper_default() -> Self {
+        Self::from_periods(AnalyzerConfig::ideal(), &[50, 200, 800])
+    }
+
+    /// Returns the schedule with a total test-time budget in simulated
+    /// seconds (the unit of [`crate::plan::measurement_time`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Seconds) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The per-stage analyzer configurations, stage 0 first.
+    pub fn stages(&self) -> &[AnalyzerConfig] {
+        &self.stages
+    }
+
+    /// The test-time budget, if one is set.
+    pub fn budget(&self) -> Option<Seconds> {
+        self.budget
+    }
+
+    /// Simulated test time one device spends at `stage` over `grid`: the
+    /// sum of one chopped acquisition per grid frequency at that stage's
+    /// `M` ([`crate::plan::measurement_time`]). Calibration is excluded —
+    /// it is amortized across the lot, not spent per device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or `grid` contains a
+    /// non-positive frequency.
+    pub fn device_stage_time(&self, stage: usize, grid: &[Hertz]) -> Seconds {
+        let m = self.stages[stage].periods;
+        grid.iter()
+            .fold(Seconds(0.0), |acc, &f| acc + measurement_time(m, f))
+    }
+}
+
+/// Accounting for one executed stage of an escalated (or plain) lot run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// Stage index within the schedule (0 = the screening pass).
+    pub stage: usize,
+    /// Evaluation periods `M` of this stage's analyzer configuration.
+    pub periods: u32,
+    /// Devices measured at this stage (the whole lot at stage 0, the
+    /// still-ambiguous — budget permitting — afterwards).
+    pub tested: usize,
+    /// Lot-wide verdict histogram *after* this stage completed.
+    pub counts: VerdictCounts,
+    /// Simulated test time spent at this stage across all tested devices.
+    pub time: Seconds,
+}
+
 /// One device's characterization within a lot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceReport {
@@ -157,9 +280,21 @@ pub struct DeviceReport {
     /// Fitted second-order f0/Q summary (None when the response does not
     /// fit a low-pass biquad).
     pub fit: Option<LowpassFit>,
+    /// Escalation stage that produced the verdict and plot above (0 for
+    /// the screening pass and for every plain [`LotEngine::run`]).
+    pub stage: usize,
+    /// Evaluation periods `M` used at that final stage.
+    pub periods: u32,
+    /// Cumulative simulated test time across every stage this device
+    /// ran, in the unit of [`crate::plan::measurement_time`].
+    pub test_time: Seconds,
 }
 
 /// The lot-level verdict histogram.
+///
+/// A zero-device report tallies to the all-zero histogram — explicitly
+/// well-defined, unlike the yield *ratio*, which has no value on an
+/// empty lot (see [`LotReport::yield_bounds`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VerdictCounts {
     /// Devices entirely inside the mask.
@@ -171,24 +306,70 @@ pub struct VerdictCounts {
 }
 
 impl VerdictCounts {
-    /// Total devices counted.
+    /// Total devices counted (0 for an empty lot).
     pub fn total(&self) -> usize {
         self.pass + self.fail + self.ambiguous
     }
+
+    /// Whether no devices were counted at all.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Tallies the verdicts of a device slice.
+    pub fn tally(devices: &[DeviceReport]) -> Self {
+        let mut c = Self::default();
+        for d in devices {
+            match d.verdict {
+                SpecVerdict::Pass => c.pass += 1,
+                SpecVerdict::Fail => c.fail += 1,
+                SpecVerdict::Ambiguous => c.ambiguous += 1,
+            }
+        }
+        c
+    }
 }
 
-/// The result of a lot run: per-device reports in seed order plus the
-/// mask they were screened against.
+/// The result of a lot run: per-device reports in seed order, the mask
+/// they were screened against, and — for escalated runs — per-stage
+/// summaries and budget accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LotReport {
     mask: GainMask,
     devices: Vec<DeviceReport>,
+    stages: Vec<StageSummary>,
+    budget: Option<Seconds>,
+    budget_exhausted: bool,
 }
 
 impl LotReport {
-    /// Assembles a report (device order is preserved).
+    /// Assembles a report (device order is preserved) with no stage
+    /// accounting — the constructor for synthetic reports; engine runs
+    /// attach their stage summaries via [`with_stages`](Self::with_stages).
     pub fn new(mask: GainMask, devices: Vec<DeviceReport>) -> Self {
-        Self { mask, devices }
+        Self {
+            mask,
+            devices,
+            stages: Vec::new(),
+            budget: None,
+            budget_exhausted: false,
+        }
+    }
+
+    /// Returns the report with per-stage accounting attached.
+    #[must_use]
+    pub fn with_stages(mut self, stages: Vec<StageSummary>) -> Self {
+        self.stages = stages;
+        self
+    }
+
+    /// Returns the report with the schedule's budget (if any) and
+    /// whether escalation stopped early because of it.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<Seconds>, exhausted: bool) -> Self {
+        self.budget = budget;
+        self.budget_exhausted = exhausted;
+        self
     }
 
     /// Per-device reports, in the seed order of the run.
@@ -201,6 +382,29 @@ impl LotReport {
         &self.mask
     }
 
+    /// Per-stage summaries in execution order (one entry for a plain
+    /// [`LotEngine::run`], empty for synthetic reports).
+    pub fn stages(&self) -> &[StageSummary] {
+        &self.stages
+    }
+
+    /// The schedule's test-time budget, if one was set.
+    pub fn budget(&self) -> Option<Seconds> {
+        self.budget
+    }
+
+    /// Whether escalation stopped before the schedule (or the ambiguous
+    /// set) was exhausted because the budget could not pay for another
+    /// re-test.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted
+    }
+
+    /// Total simulated test time spent across all executed stages.
+    pub fn spent(&self) -> Seconds {
+        self.stages.iter().fold(Seconds(0.0), |acc, s| acc + s.time)
+    }
+
     /// Number of devices in the lot.
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -211,32 +415,29 @@ impl LotReport {
         self.devices.is_empty()
     }
 
-    /// The pass/fail/ambiguous histogram.
+    /// The pass/fail/ambiguous histogram (all-zero for an empty lot).
     pub fn counts(&self) -> VerdictCounts {
-        let mut c = VerdictCounts::default();
-        for d in &self.devices {
-            match d.verdict {
-                SpecVerdict::Pass => c.pass += 1,
-                SpecVerdict::Fail => c.fail += 1,
-                SpecVerdict::Ambiguous => c.ambiguous += 1,
-            }
-        }
-        c
+        VerdictCounts::tally(&self.devices)
     }
 
     /// Yield estimate as an interval: the lower bound counts only `Pass`
     /// devices, the upper bound also grants every `Ambiguous` device —
     /// the trichotomous verdicts make the yield itself an enclosure.
-    pub fn yield_bounds(&self) -> (f64, f64) {
+    ///
+    /// Returns `None` for a zero-device report: an empty lot has no
+    /// yield, and the old `(0.0, 0.0)` answer read as "everything fails"
+    /// (the same fake-certainty bug `worst_gain_error_db` had on empty
+    /// plots).
+    pub fn yield_bounds(&self) -> Option<(f64, f64)> {
         let c = self.counts();
         let total = c.total();
         if total == 0 {
-            return (0.0, 0.0);
+            return None;
         }
-        (
+        Some((
             c.pass as f64 / total as f64,
             (c.pass + c.ambiguous) as f64 / total as f64,
-        )
+        ))
     }
 }
 
@@ -341,6 +542,175 @@ impl LotEngine {
         D: Dut,
         F: Fn(u64) -> D + Sync,
     {
+        Self::validate_lot(seeds, plan)?;
+        let cal = Self::shared_calibration(config)?;
+        let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
+            self.characterize_device(&factory, seeds[i], plan, config, cal, 0, Seconds(0.0))
+        });
+        // Buffered results: the lowest-index error wins, as in a serial
+        // in-order run.
+        let devices = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let summary = StageSummary {
+            stage: 0,
+            periods: config.periods,
+            tested: devices.len(),
+            counts: VerdictCounts::tally(&devices),
+            time: devices
+                .iter()
+                .fold(Seconds(0.0), |acc, d| acc + d.test_time),
+        };
+        Ok(LotReport::new(plan.mask().clone(), devices).with_stages(vec![summary]))
+    }
+
+    /// Screens the whole lot at `schedule` stage 0, then re-tests only
+    /// the devices still [`SpecVerdict::Ambiguous`] at each subsequent
+    /// stage — one shared calibration per stage, re-tests fanned across
+    /// the same worker pool — until no device is ambiguous, the schedule
+    /// is exhausted, or the budget cannot pay for another re-test.
+    ///
+    /// When the remaining budget covers only part of a stage's ambiguous
+    /// set, the longest seed-order prefix that fits is re-tested (every
+    /// device costs the same at a given stage: the grid is shared), the
+    /// report's [`budget_exhausted`](LotReport::budget_exhausted) flag is
+    /// set, and escalation stops once nothing more is affordable. The
+    /// total spent therefore never exceeds the budget.
+    ///
+    /// Results are bit-identical to a serial in-order run: the retest
+    /// sets are decided only by verdicts and budget arithmetic (never by
+    /// completion order), and on failure the lowest-seed-index error of
+    /// the failing stage is reported.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) returns, plus
+    /// [`NetanError::BudgetExhausted`] when the budget cannot even cover
+    /// the stage-0 screening pass (rejected before any simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an adaptive [`LotPlan`]: per-device refined grids would
+    /// make the projected stage cost — and hence the budget gate —
+    /// device-dependent and unknowable before measuring. Escalate on a
+    /// fixed grid, or refine without a schedule via [`run`](Self::run).
+    pub fn run_escalated<D, F>(
+        &self,
+        factory: F,
+        seeds: &[u64],
+        plan: &LotPlan,
+        schedule: &EscalationSchedule,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        assert!(
+            plan.refinement().is_none(),
+            "escalation schedules require a fixed-grid plan"
+        );
+        Self::validate_lot(seeds, plan)?;
+        let stage_cost: Vec<Seconds> = (0..schedule.stages().len())
+            .map(|s| schedule.device_stage_time(s, plan.grid()))
+            .collect();
+
+        // Per-stage cost of one whole-set re-test, accumulated the same
+        // way device times are (a fold, not a product), so stage sums,
+        // device sums and `spent` agree to the last bit.
+        let set_cost =
+            |n: usize, per_device: Seconds| (0..n).fold(Seconds(0.0), |acc, _| acc + per_device);
+
+        // The screening pass is all-or-nothing: without it no device has
+        // a verdict, so a budget that cannot cover it is an error, not a
+        // silently empty report.
+        let screening_cost = set_cost(seeds.len(), stage_cost[0]);
+        if let Some(budget) = schedule.budget() {
+            if screening_cost.value() > budget.value() {
+                return Err(NetanError::BudgetExhausted {
+                    needed_ms: (screening_cost.value() * 1000.0).ceil() as u64,
+                    budget_ms: (budget.value() * 1000.0) as u64,
+                });
+            }
+        }
+
+        let config0 = schedule.stages()[0];
+        let cal = Self::shared_calibration(config0)?;
+        let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
+            self.characterize_device(&factory, seeds[i], plan, config0, cal, 0, Seconds(0.0))
+        });
+        let mut devices = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+
+        // Folded from the measured devices — exactly what `run` records,
+        // so a one-stage schedule is bit-identical to a plain run.
+        let screen_time = devices
+            .iter()
+            .fold(Seconds(0.0), |acc, d| acc + d.test_time);
+        let mut spent = screen_time;
+        let mut stages = vec![StageSummary {
+            stage: 0,
+            periods: config0.periods,
+            tested: devices.len(),
+            counts: VerdictCounts::tally(&devices),
+            time: screen_time,
+        }];
+        let mut budget_exhausted = false;
+
+        for (s, &config) in schedule.stages().iter().enumerate().skip(1) {
+            let ambiguous: Vec<usize> = devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.verdict == SpecVerdict::Ambiguous)
+                .map(|(i, _)| i)
+                .collect();
+            if ambiguous.is_empty() {
+                break;
+            }
+            // The longest seed-order prefix the remaining budget can pay
+            // for (per-device cost is uniform at a stage: shared grid).
+            let affordable = match schedule.budget() {
+                None => ambiguous.len(),
+                Some(budget) => {
+                    let fit = (budget.value() - spent.value()) / stage_cost[s].value();
+                    // Saturating f64 → usize cast: negative remainder → 0.
+                    ambiguous.len().min(fit.floor() as usize)
+                }
+            };
+            if affordable < ambiguous.len() {
+                budget_exhausted = true;
+            }
+            if affordable == 0 {
+                break;
+            }
+            let retest = &ambiguous[..affordable];
+            let cal = Self::shared_calibration(config)?;
+            let results = pool::map_indexed(self.device_threads, retest.len(), |j| {
+                let d = &devices[retest[j]];
+                self.characterize_device(&factory, d.seed, plan, config, cal, s, d.test_time)
+            });
+            // Buffered, so the lowest-seed-index error of this stage wins
+            // under any schedule, exactly as a serial re-test would.
+            let reports = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+            for (&i, report) in retest.iter().zip(reports) {
+                devices[i] = report;
+            }
+            let stage_time = set_cost(retest.len(), stage_cost[s]);
+            spent = spent + stage_time;
+            stages.push(StageSummary {
+                stage: s,
+                periods: config.periods,
+                tested: retest.len(),
+                counts: VerdictCounts::tally(&devices),
+                time: stage_time,
+            });
+        }
+
+        Ok(LotReport::new(plan.mask().clone(), devices)
+            .with_stages(stages)
+            .with_budget(schedule.budget(), budget_exhausted))
+    }
+
+    /// Shared up-front validation of a lot request: non-empty seeds,
+    /// non-empty grid, every grid frequency valid — all rejected before
+    /// calibration or any simulation.
+    fn validate_lot(seeds: &[u64], plan: &LotPlan) -> Result<(), NetanError> {
         if seeds.is_empty() {
             return Err(NetanError::EmptyLot);
         }
@@ -350,14 +720,7 @@ impl LotEngine {
         for &f in plan.grid() {
             NetworkAnalyzer::validate_frequency(f)?;
         }
-        let cal = Self::shared_calibration(config)?;
-        let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
-            self.characterize_device(&factory, seeds[i], plan, config, cal)
-        });
-        // Buffered results: the lowest-index error wins, as in a serial
-        // in-order run.
-        let devices = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Ok(LotReport::new(plan.mask().clone(), devices))
+        Ok(())
     }
 
     /// The stimulus characterization shared by every device in a lot.
@@ -371,6 +734,7 @@ impl LotEngine {
         NetworkAnalyzer::new(&Bypass, config).calibrate()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn characterize_device<D, F>(
         &self,
         factory: &F,
@@ -378,6 +742,8 @@ impl LotEngine {
         plan: &LotPlan,
         config: AnalyzerConfig,
         cal: Calibration,
+        stage: usize,
+        prior_time: Seconds,
     ) -> Result<DeviceReport, NetanError>
     where
         D: Dut,
@@ -410,11 +776,19 @@ impl LotEngine {
         };
         let verdict = plan.classify_plot(plot.points());
         let fit = plot.fit_lowpass_biquad();
+        // Actual measured points (a superset of the grid for adaptive
+        // plans), each one chopped acquisition at this stage's M.
+        let time = plot.points().iter().fold(Seconds(0.0), |acc, p| {
+            acc + measurement_time(config.periods, p.frequency)
+        });
         Ok(DeviceReport {
             seed,
             plot,
             verdict,
             fit,
+            stage,
+            periods: config.periods,
+            test_time: prior_time + time,
         })
     }
 }
@@ -505,11 +879,24 @@ mod tests {
             .unwrap();
         assert_eq!(report.len(), 3);
         assert_eq!(report.counts().total(), 3);
-        let (ylo, yhi) = report.yield_bounds();
+        let (ylo, yhi) = report.yield_bounds().expect("non-empty lot has a yield");
         assert!(0.0 <= ylo && ylo <= yhi && yhi <= 1.0);
+        // A plain run carries exactly one stage summary with the whole
+        // lot tested at the configured M.
+        assert_eq!(report.stages().len(), 1);
+        let s0 = report.stages()[0];
+        assert_eq!((s0.stage, s0.periods, s0.tested), (0, 50, 3));
+        assert_eq!(s0.counts, report.counts());
+        assert!((report.spent().value() - s0.time.value()).abs() < 1e-12);
+        assert_eq!(report.budget(), None);
+        assert!(!report.budget_exhausted());
         for (d, &seed) in report.devices().iter().zip(&seeds) {
             assert_eq!(d.seed, seed);
             assert_eq!(d.plot.len(), plan.grid().len());
+            assert_eq!((d.stage, d.periods), (0, 50));
+            // 4-point minimal mask grid at M = 50: Σ 2·50/f.
+            let expect: f64 = plan.grid().iter().map(|f| 2.0 * 50.0 / f.value()).sum();
+            assert!((d.test_time.value() - expect).abs() < 1e-12);
             // The fitted summary must track the fabricated device.
             let device = paper_factory(0.01)(seed);
             let fit = d.fit.expect("low-pass fit");
@@ -525,9 +912,137 @@ mod tests {
     }
 
     #[test]
-    fn yield_bounds_of_empty_report() {
+    fn empty_report_has_no_yield_and_zero_counts() {
+        // Regression (mirrors the `worst_gain_error_db` empty-plot fix):
+        // a zero-device report must not claim a 0 % yield — it has none.
         let report = LotReport::new(GainMask::new(), Vec::new());
         assert!(report.is_empty());
-        assert_eq!(report.yield_bounds(), (0.0, 0.0));
+        assert_eq!(report.yield_bounds(), None);
+        let c = report.counts();
+        assert!(c.is_empty());
+        assert_eq!(c.total(), 0);
+        assert_eq!((c.pass, c.fail, c.ambiguous), (0, 0, 0));
+        assert_eq!(report.spent(), Seconds(0.0));
+        assert!(report.stages().is_empty());
+    }
+
+    #[test]
+    fn schedule_constructors_and_stage_time() {
+        let s = EscalationSchedule::paper_default();
+        assert_eq!(
+            s.stages().iter().map(|c| c.periods).collect::<Vec<_>>(),
+            vec![50, 200, 800]
+        );
+        assert_eq!(s.budget(), None);
+        let b =
+            EscalationSchedule::from_periods(quick_config(), &[50, 100]).with_budget(Seconds(30.0));
+        assert_eq!(b.budget(), Some(Seconds(30.0)));
+        // Stage time is Σ 2M/f over the grid, linear in M.
+        let grid = [Hertz(500.0), Hertz(1000.0)];
+        let t0 = b.device_stage_time(0, &grid);
+        let t1 = b.device_stage_time(1, &grid);
+        assert!((t0.value() - (2.0 * 50.0 / 500.0 + 2.0 * 50.0 / 1000.0)).abs() < 1e-12);
+        assert!((t1.value() - 2.0 * t0.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_schedule_panics() {
+        let _ = EscalationSchedule::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_escalating_schedule_panics() {
+        let _ = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[100, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-grid plan")]
+    fn adaptive_plan_rejected_for_escalation() {
+        let plan = LotPlan::adaptive(
+            &[Hertz(300.0)],
+            GainMask::paper_lowpass(),
+            RefinementPolicy::new(0.5),
+        );
+        let _ = LotEngine::serial().run_escalated(
+            paper_factory(0.0),
+            &[0],
+            &plan,
+            &EscalationSchedule::paper_default(),
+        );
+    }
+
+    #[test]
+    fn escalation_validates_before_simulating() {
+        let schedule = EscalationSchedule::from_periods(quick_config(), &[50, 100]);
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let engine = LotEngine::serial();
+        assert_eq!(
+            engine
+                .run_escalated(paper_factory(0.0), &[], &plan, &schedule)
+                .unwrap_err(),
+            NetanError::EmptyLot
+        );
+        // A budget below the screening pass is rejected up front with
+        // the exact shortfall.
+        let c0 = schedule.device_stage_time(0, plan.grid()).value();
+        let starved = schedule.clone().with_budget(Seconds(c0 * 1.5));
+        let err = engine
+            .run_escalated(paper_factory(0.0), &[0, 1], &plan, &starved)
+            .unwrap_err();
+        match err {
+            NetanError::BudgetExhausted {
+                needed_ms,
+                budget_ms,
+            } => {
+                assert_eq!(needed_ms, (2.0 * c0 * 1000.0).ceil() as u64);
+                assert_eq!(budget_ms, (1.5 * c0 * 1000.0) as u64);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escalation_resolves_ambiguity_within_schedule() {
+        // σ = 9 % parts at a fast M = 30 screen: some devices come back
+        // ambiguous and must escalate; everything decided at stage 0
+        // keeps its stage-0 provenance untouched.
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds: Vec<u64> = (0..6).collect();
+        let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 120]);
+        let report = LotEngine::with_threads(3)
+            .run_escalated(paper_factory(0.09), &seeds, &plan, &schedule)
+            .unwrap();
+        assert_eq!(report.len(), 6);
+        let stage0 = report.stages()[0];
+        assert_eq!(stage0.tested, 6);
+        // Whoever escalated carries stage-1 provenance and strictly more
+        // cumulative test time than a stage-0-only device.
+        let c0 = schedule.device_stage_time(0, plan.grid()).value();
+        let c1 = schedule.device_stage_time(1, plan.grid()).value();
+        for d in report.devices() {
+            match d.stage {
+                0 => {
+                    assert_eq!(d.periods, 30);
+                    assert!((d.test_time.value() - c0).abs() < 1e-12);
+                }
+                1 => {
+                    assert_eq!(d.periods, 120);
+                    assert!((d.test_time.value() - (c0 + c1)).abs() < 1e-12);
+                }
+                s => panic!("impossible stage {s}"),
+            }
+        }
+        if report.stages().len() == 2 {
+            let stage1 = report.stages()[1];
+            assert_eq!(stage1.tested, stage0.counts.ambiguous);
+            assert_eq!(stage1.counts, report.counts());
+            // Re-tests only ever shrink the ambiguous bin.
+            assert!(stage1.counts.ambiguous <= stage0.counts.ambiguous);
+        }
+        let expected_spent =
+            6.0 * c0 + report.stages().get(1).map_or(0.0, |s| s.tested as f64 * c1);
+        assert!((report.spent().value() - expected_spent).abs() < 1e-9);
     }
 }

@@ -32,6 +32,27 @@ pub struct TestPlan {
     pub test_time: Seconds,
 }
 
+/// Simulated wall-clock time of one chopped acquisition of `periods`
+/// evaluation periods at stimulus frequency `f_wave` — the forward
+/// direction of [`plan_measurement`]'s inversion (`test_time` of a plan
+/// with the same `periods` and `f_wave` is exactly this value), and the
+/// unit of account for escalation-schedule test-time budgets
+/// ([`crate::lot::EscalationSchedule`]).
+///
+/// Both chop phases are counted; generator/DUT warm-up is not — it is a
+/// simulation artifact, not hardware test time.
+///
+/// # Panics
+///
+/// Panics if `f_wave` is not strictly positive.
+pub fn measurement_time(periods: u32, f_wave: Hertz) -> Seconds {
+    assert!(f_wave.value() > 0.0, "stimulus frequency must be positive");
+    let n = OVERSAMPLING_RATIO as f64;
+    let samples = u64::from(periods) * OVERSAMPLING_RATIO as u64;
+    // Chopped acquisition doubles the sample count.
+    Seconds(2.0 * samples as f64 / (f_wave.value() * n))
+}
+
 /// Plans the evaluation length for measuring an expected amplitude
 /// `expected_volts` to within ±`tolerance_db` dB with guaranteed bounds,
 /// at stimulus frequency `f_wave` and DAC reference `vref`.
@@ -85,8 +106,7 @@ pub fn plan_measurement(
     m += m % 2; // validity: M even (≤ u32::MAX − 1 by the cap above)
     let m = m.max(2);
     let samples = u64::from(m) * OVERSAMPLING_RATIO as u64;
-    // Chopped acquisition doubles the sample count.
-    let test_time = Seconds(2.0 * samples as f64 / (f_wave.value() * n));
+    let test_time = measurement_time(m, f_wave);
     Ok(TestPlan {
         periods: m,
         samples,
@@ -108,6 +128,29 @@ mod tests {
         // 10× smaller amplitude → ≈10× more periods.
         let ratio = b.periods as f64 / a.periods as f64;
         assert!((ratio - 10.0).abs() < 1.0, "{ratio}");
+    }
+
+    #[test]
+    fn measurement_time_inverts_the_plan() {
+        // `measurement_time` is the forward direction of the inversion:
+        // feeding a plan's own M back in reproduces its test_time bit for
+        // bit, and time is linear in M.
+        let plan = plan_measurement(0.2, 0.1, Hertz(1000.0), 1.0).unwrap();
+        assert_eq!(
+            measurement_time(plan.periods, Hertz(1000.0)),
+            plan.test_time
+        );
+        let t1 = measurement_time(50, Hertz(500.0));
+        let t2 = measurement_time(100, Hertz(500.0));
+        assert!((t2.value() / t1.value() - 2.0).abs() < 1e-12);
+        // One chopped 50-period acquisition at 500 Hz: 2·50/500 = 0.2 s.
+        assert!((t1.value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn measurement_time_rejects_bad_frequency() {
+        let _ = measurement_time(50, Hertz(0.0));
     }
 
     #[test]

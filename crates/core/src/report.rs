@@ -3,10 +3,11 @@
 //! JSON documents are hand-rendered (the workspace builds fully offline,
 //! so there is no serde) and self-describing via a `"schema"` field:
 //! `netan.bode.v2` for [`bode_json`] (v2 added the per-point `"round"`
-//! refinement provenance; v1 documents remain readable by the
-//! `plot_report` consumer) and `netan.lot.v1` for [`lot_json`]. Numbers
-//! use Rust's shortest round-trip `f64` formatting; non-finite values
-//! render as `null`.
+//! refinement provenance) and `netan.lot.v2` for [`lot_json`] (v2 added
+//! the escalation budget ledger, per-stage summaries and per-device
+//! stage provenance); v1 documents of both families remain readable by
+//! the `plot_report` consumer. Numbers use Rust's shortest round-trip
+//! `f64` formatting; non-finite values render as `null`.
 
 use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
@@ -84,13 +85,16 @@ fn verdict_str(v: SpecVerdict) -> &'static str {
 }
 
 /// Renders a lot report as a human-readable screening table: one row per
-/// device plus the verdict histogram and the yield enclosure.
+/// device (with its escalation stage, final `M` and cumulative simulated
+/// test time), the verdict histogram, the yield enclosure, and — when the
+/// run carried stage accounting — one summary line per executed stage
+/// plus the budget ledger.
 pub fn lot_table(report: &LotReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>8} {:>10} {:>12} {:>8} {:>16}",
-        "seed", "verdict", "fit f0 (Hz)", "fit Q", "worst |dG| (dB)"
+        "{:>8} {:>10} {:>6} {:>6} {:>9} {:>12} {:>8} {:>16}",
+        "seed", "verdict", "stage", "M", "t (s)", "fit f0 (Hz)", "fit Q", "worst |dG| (dB)"
     );
     for d in report.devices() {
         let (f0, q) = match d.fit {
@@ -103,16 +107,18 @@ pub fn lot_table(report: &LotReport) -> String {
         };
         let _ = writeln!(
             out,
-            "{:>8} {:>10} {:>12} {:>8} {:>16}",
+            "{:>8} {:>10} {:>6} {:>6} {:>9.3} {:>12} {:>8} {:>16}",
             d.seed,
             verdict_str(d.verdict),
+            d.stage,
+            d.periods,
+            d.test_time.value(),
             f0,
             q,
             worst,
         );
     }
     let c = report.counts();
-    let (ylo, yhi) = report.yield_bounds();
     let _ = writeln!(
         out,
         "lot: {} devices — {} pass, {} fail, {} ambiguous (re-test with larger M)",
@@ -121,16 +127,60 @@ pub fn lot_table(report: &LotReport) -> String {
         c.fail,
         c.ambiguous
     );
-    let _ = writeln!(out, "yield: [{:.1}%, {:.1}%]", 100.0 * ylo, 100.0 * yhi);
+    match report.yield_bounds() {
+        Some((ylo, yhi)) => {
+            let _ = writeln!(out, "yield: [{:.1}%, {:.1}%]", 100.0 * ylo, 100.0 * yhi);
+        }
+        None => {
+            let _ = writeln!(out, "yield: n/a (empty lot)");
+        }
+    }
+    for s in report.stages() {
+        let _ = writeln!(
+            out,
+            "stage {} (M = {}): {} tested in {:.3} s — {} pass, {} fail, {} ambiguous",
+            s.stage,
+            s.periods,
+            s.tested,
+            s.time.value(),
+            s.counts.pass,
+            s.counts.fail,
+            s.counts.ambiguous,
+        );
+    }
+    if !report.stages().is_empty() {
+        let spent = report.spent().value();
+        match report.budget() {
+            Some(b) => {
+                let _ = writeln!(
+                    out,
+                    "budget: spent {:.3} s of {:.3} s{}",
+                    spent,
+                    b.value(),
+                    if report.budget_exhausted() {
+                        " (exhausted before the schedule)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "budget: spent {spent:.3} s (no limit)");
+            }
+        }
+    }
     out
 }
 
 /// Renders a lot report as CSV with a header row: one row per device,
-/// seven columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q, cutoff_hz,
-/// worst_gain_err_db`); missing fit/cutoff fields render empty.
+/// ten columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q, cutoff_hz,
+/// worst_gain_err_db, stage, periods, test_time_s` — the trailing three
+/// are the escalation provenance, stage 0 for plain runs); missing
+/// fit/cutoff fields render empty.
 pub fn lot_csv(report: &LotReport) -> String {
-    let mut out =
-        String::from("seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db\n");
+    let mut out = String::from(
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s\n",
+    );
     for d in report.devices() {
         let (gain, f0, q) = match d.fit {
             Some(fit) => (
@@ -153,7 +203,7 @@ pub fn lot_csv(report: &LotReport) -> String {
             .unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{}",
             d.seed,
             verdict_str(d.verdict),
             gain,
@@ -161,6 +211,9 @@ pub fn lot_csv(report: &LotReport) -> String {
             q,
             cutoff,
             worst,
+            d.stage,
+            d.periods,
+            d.test_time.value(),
         );
     }
     out
@@ -222,11 +275,22 @@ pub fn bode_json(plot: &BodePlot) -> String {
     out
 }
 
-/// Renders a lot report as a JSON document (schema `netan.lot.v1`): the
-/// mask, the verdict histogram, the yield enclosure, and per-device
-/// verdict + f0/Q fit + full point set.
+fn json_counts(out: &mut String, c: &crate::lot::VerdictCounts) {
+    let _ = write!(
+        out,
+        "{{\"pass\":{},\"fail\":{},\"ambiguous\":{}}}",
+        c.pass, c.fail, c.ambiguous
+    );
+}
+
+/// Renders a lot report as a JSON document (schema `netan.lot.v2`): the
+/// mask, the verdict histogram, the yield enclosure (`null` for an empty
+/// lot), the escalation budget ledger and per-stage summaries, and
+/// per-device verdict + stage provenance + f0/Q fit + full point set.
+/// v1 documents (no `budget`/`stages`, no per-device provenance) remain
+/// readable by the `plot_report` consumer.
 pub fn lot_json(report: &LotReport) -> String {
-    let mut out = String::from("{\"schema\":\"netan.lot.v1\",\"mask\":[");
+    let mut out = String::from("{\"schema\":\"netan.lot.v2\",\"mask\":[");
     for (i, m) in report.mask().points().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -239,28 +303,57 @@ pub fn lot_json(report: &LotReport) -> String {
         json_f64(&mut out, m.max_db);
         out.push('}');
     }
-    let c = report.counts();
-    let _ = write!(
-        out,
-        "],\"counts\":{{\"pass\":{},\"fail\":{},\"ambiguous\":{}}}",
-        c.pass, c.fail, c.ambiguous
-    );
-    let (ylo, yhi) = report.yield_bounds();
-    out.push_str(",\"yield\":{\"lo\":");
-    json_f64(&mut out, ylo);
-    out.push_str(",\"hi\":");
-    json_f64(&mut out, yhi);
-    out.push_str("},\"devices\":[");
+    out.push_str("],\"counts\":");
+    json_counts(&mut out, &report.counts());
+    out.push_str(",\"yield\":");
+    match report.yield_bounds() {
+        Some((ylo, yhi)) => {
+            out.push_str("{\"lo\":");
+            json_f64(&mut out, ylo);
+            out.push_str(",\"hi\":");
+            json_f64(&mut out, yhi);
+            out.push('}');
+        }
+        // An empty lot has no yield — not a 0 % one.
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"budget\":{\"limit_s\":");
+    match report.budget() {
+        Some(b) => json_f64(&mut out, b.value()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"spent_s\":");
+    json_f64(&mut out, report.spent().value());
+    let _ = write!(out, ",\"exhausted\":{}}}", report.budget_exhausted());
+    out.push_str(",\"stages\":[");
+    for (i, s) in report.stages().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"stage\":{},\"periods\":{},\"tested\":{},\"time_s\":",
+            s.stage, s.periods, s.tested
+        );
+        json_f64(&mut out, s.time.value());
+        out.push_str(",\"counts\":");
+        json_counts(&mut out, &s.counts);
+        out.push('}');
+    }
+    out.push_str("],\"devices\":[");
     for (i, d) in report.devices().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{\"seed\":{},\"verdict\":\"{}\"",
+            "{{\"seed\":{},\"verdict\":\"{}\",\"stage\":{},\"periods\":{},\"test_time_s\":",
             d.seed,
-            verdict_str(d.verdict)
+            verdict_str(d.verdict),
+            d.stage,
+            d.periods
         );
+        json_f64(&mut out, d.test_time.value());
         out.push_str(",\"fit\":");
         match d.fit {
             Some(fit) => {
@@ -354,17 +447,25 @@ mod tests {
     }
 
     fn synthetic_lot() -> LotReport {
-        use crate::lot::DeviceReport;
+        use crate::lot::{DeviceReport, StageSummary, VerdictCounts};
         use crate::spec::{GainMask, MaskPoint};
         use crate::sweep::LowpassFit;
+        use mixsig::units::Seconds;
         let mask = GainMask::new()
             .with_point(MaskPoint::new(Hertz(100.0), -1.0, 1.0))
             .with_point(MaskPoint::new(Hertz(1000.0), -4.5, -1.5));
-        let device = |seed: u64, verdict: SpecVerdict, fit: Option<LowpassFit>| DeviceReport {
+        let device = |seed: u64,
+                      verdict: SpecVerdict,
+                      fit: Option<LowpassFit>,
+                      stage: usize,
+                      periods: u32| DeviceReport {
             seed,
             plot: plot(),
             verdict,
             fit,
+            stage,
+            periods,
+            test_time: Seconds(0.25 * (stage + 1) as f64),
         };
         let fit = LowpassFit {
             gain: 1.0,
@@ -374,22 +475,62 @@ mod tests {
         LotReport::new(
             mask,
             vec![
-                device(0, SpecVerdict::Pass, Some(fit)),
-                device(1, SpecVerdict::Ambiguous, Some(fit)),
-                device(2, SpecVerdict::Fail, None),
+                device(0, SpecVerdict::Pass, Some(fit), 0, 50),
+                device(1, SpecVerdict::Ambiguous, Some(fit), 1, 200),
+                device(2, SpecVerdict::Fail, None, 0, 50),
             ],
         )
+        .with_stages(vec![
+            StageSummary {
+                stage: 0,
+                periods: 50,
+                tested: 3,
+                counts: VerdictCounts {
+                    pass: 1,
+                    fail: 1,
+                    ambiguous: 1,
+                },
+                time: Seconds(0.75),
+            },
+            StageSummary {
+                stage: 1,
+                periods: 200,
+                tested: 1,
+                counts: VerdictCounts {
+                    pass: 1,
+                    fail: 1,
+                    ambiguous: 1,
+                },
+                time: Seconds(0.25),
+            },
+        ])
+        .with_budget(Some(Seconds(2.0)), true)
     }
 
     #[test]
-    fn lot_table_lists_devices_and_yield() {
+    fn lot_table_lists_devices_stages_and_yield() {
         let t = lot_table(&synthetic_lot());
         assert!(t.contains("verdict"));
+        assert!(t.contains("stage"));
         assert!(t.contains("ambiguous"));
         assert!(t.contains("1 pass, 1 fail, 1 ambiguous"));
         assert!(t.contains("yield: [33.3%, 66.7%]"));
-        // One header + three devices + two summary lines.
-        assert_eq!(t.lines().count(), 6);
+        assert!(t.contains("stage 0 (M = 50): 3 tested"));
+        assert!(t.contains("stage 1 (M = 200): 1 tested"));
+        assert!(t.contains("budget: spent 1.000 s of 2.000 s (exhausted before the schedule)"));
+        // One header + three devices + histogram + yield + two stage
+        // lines + budget line.
+        assert_eq!(t.lines().count(), 9);
+    }
+
+    #[test]
+    fn lot_table_without_stage_accounting_stays_compact() {
+        let report = LotReport::new(crate::spec::GainMask::new(), Vec::new());
+        let t = lot_table(&report);
+        assert!(t.contains("yield: n/a (empty lot)"));
+        assert!(!t.contains("budget:"));
+        // Header + histogram + yield only.
+        assert_eq!(t.lines().count(), 3);
     }
 
     #[test]
@@ -399,13 +540,17 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db"
+            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s"
         );
         for row in &lines[1..] {
-            assert_eq!(row.split(',').count(), 7, "row {row}");
+            assert_eq!(row.split(',').count(), 10, "row {row}");
         }
-        // The fit-less device renders empty fit columns.
+        // The fit-less device renders empty fit columns and carries its
+        // stage-0 provenance in the trailing columns.
         assert!(lines[3].starts_with("2,fail,,,"));
+        assert!(lines[3].ends_with(",0,50,0.25"));
+        // The escalated device reports stage 1 and its cumulative time.
+        assert!(lines[2].ends_with(",1,200,0.5"));
     }
 
     #[test]
@@ -419,25 +564,43 @@ mod tests {
     }
 
     #[test]
-    fn lot_json_points_stay_schema_v1() {
-        // The lot document did not bump: no per-point round field.
+    fn lot_json_points_carry_no_round_field() {
+        // Lot points still omit the per-point adaptive provenance.
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v1\""));
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v2\""));
         assert!(!j.contains("\"round\":"));
     }
 
     #[test]
-    fn lot_json_carries_mask_counts_and_devices() {
+    fn lot_json_carries_mask_counts_stages_and_devices() {
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v1\""));
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v2\""));
         assert!(j.contains("\"counts\":{\"pass\":1,\"fail\":1,\"ambiguous\":1}"));
         assert!(j.contains("\"verdict\":\"ambiguous\""));
         assert!(j.contains("\"fit\":null"));
         assert!(j.contains("\"min_db\":-4.5"));
+        // v2: budget ledger, per-stage summaries, per-device provenance.
+        assert!(j.contains("\"budget\":{\"limit_s\":2,\"spent_s\":1,\"exhausted\":true}"));
+        assert!(j.contains("\"stages\":[{\"stage\":0,\"periods\":50,\"tested\":3,\"time_s\":0.75"));
+        assert!(j.contains("{\"stage\":1,\"periods\":200,\"tested\":1,\"time_s\":0.25"));
+        assert!(j.contains(
+            "\"seed\":1,\"verdict\":\"ambiguous\",\"stage\":1,\"periods\":200,\"test_time_s\":0.5"
+        ));
         assert_eq!(j.matches("\"seed\":").count(), 3);
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn lot_json_empty_lot_renders_null_yield() {
+        let report = LotReport::new(crate::spec::GainMask::new(), Vec::new());
+        let j = lot_json(&report);
+        assert!(j.contains("\"yield\":null"));
+        assert!(j.contains("\"counts\":{\"pass\":0,\"fail\":0,\"ambiguous\":0}"));
+        assert!(j.contains("\"budget\":{\"limit_s\":null,\"spent_s\":0,\"exhausted\":false}"));
+        assert!(j.contains("\"stages\":[]"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

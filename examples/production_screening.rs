@@ -2,20 +2,25 @@
 //! Monte Carlo lot of fabricated DUTs, at throughput.
 //!
 //! This is the paper's motivating scenario — on-chip pass/fail without an
-//! expensive ATE. The [`netan::LotEngine`] fans whole devices across a
-//! worker pool, amortizing the stimulus calibration (one per analyzer
-//! configuration, not one per device), and the hard error bounds make the
-//! verdict trichotomous: devices near a limit come back `Ambiguous` and
-//! earn a longer re-test instead of a wrong bin.
+//! expensive ATE — with its accuracy-for-test-time trade-off run as a
+//! first-class policy: an [`netan::EscalationSchedule`] screens the whole
+//! lot at a cheap `M = 50`, then re-tests only the devices whose error
+//! enclosure straddles a mask limit (`Ambiguous`) at `M = 200`, then
+//! `M = 800` — each stage narrowing the enclosure 4× — under a total
+//! simulated test-time budget. [`netan::LotEngine::run_escalated`] fans
+//! every pass across a worker pool and amortizes the stimulus calibration
+//! to one per stage.
 //!
 //! Run with: `cargo run --release --example production_screening`
 
 use dut::ActiveRcFilter;
-use netan::{lot_table, AnalyzerConfig, GainMask, LotEngine, LotPlan, SpecVerdict};
+use mixsig::units::Seconds;
+use netan::{lot_table, AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan};
 
 fn main() -> Result<(), netan::NetanError> {
     let plan = LotPlan::from_mask(GainMask::paper_lowpass());
-    // 9 % parts: some devices genuinely violate the mask.
+    // 9 % parts: some devices genuinely violate the mask, and some sit
+    // close enough to a limit that a fast pass cannot bin them.
     let factory = |seed: u64| {
         ActiveRcFilter::paper_dut()
             .linearized()
@@ -23,39 +28,35 @@ fn main() -> Result<(), netan::NetanError> {
     };
     let seeds: Vec<u64> = (0..20).collect();
 
+    // M = 50 costs a quarter of the paper's Bode setting at 4× the
+    // enclosure width; M = 800 costs 4× at a quarter of the width. The
+    // budget caps the total simulated test time (the schedule's unit of
+    // account, from `netan::measurement_time`).
+    let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[50, 200, 800])
+        .with_budget(Seconds(120.0));
+
     let engine = LotEngine::auto();
     println!(
-        "screening {} devices across {} workers (calibration amortized)\n",
+        "screening {} devices across {} workers ({} stages, one calibration each)\n",
         seeds.len(),
-        engine.threads()
+        engine.threads(),
+        schedule.stages().len(),
     );
-    // Fast first pass: M = 50 costs a quarter of the paper's Bode
-    // setting, at the price of 4x wider enclosures — borderline devices
-    // come back Ambiguous instead of landing in a wrong bin.
-    let fast = AnalyzerConfig::ideal().with_periods(50);
-    let report = engine.run(factory, &seeds, &plan, fast)?;
+    let report = engine.run_escalated(factory, &seeds, &plan, &schedule)?;
     print!("{}", lot_table(&report));
 
-    // The paper's accuracy-for-test-time trade-off, made operational:
-    // only the ambiguous devices earn a second pass at the full M = 200,
-    // which shrinks the enclosure width around the limit.
-    let retest: Vec<u64> = report
-        .devices()
-        .iter()
-        .filter(|d| d.verdict == SpecVerdict::Ambiguous)
-        .map(|d| d.seed)
-        .collect();
-    if !retest.is_empty() {
-        let second = engine.run(factory, &retest, &plan, AnalyzerConfig::ideal())?;
-        println!(
-            "\nre-test of {} ambiguous devices at M = 200:",
-            retest.len()
-        );
-        for d in second.devices() {
-            println!("  seed {:>2} -> {:?}", d.seed, d.verdict);
-        }
-    }
+    // What the escalation bought: the same deep verdicts without paying
+    // the deepest stage for every device.
+    let deepest = schedule.stages().len() - 1;
+    let all_deep = schedule.device_stage_time(deepest, plan.grid()).value() * seeds.len() as f64;
+    let spent = report.spent().value();
+    println!(
+        "\neveryone at M = {} would cost {all_deep:.1} s of test time; escalation spent \
+         {spent:.1} s ({:.1}x less)",
+        schedule.stages()[deepest].periods,
+        all_deep / spent,
+    );
 
-    println!("\nmachine-readable sinks: netan::lot_csv / netan::lot_json (schema netan.lot.v1)");
+    println!("\nmachine-readable sinks: netan::lot_csv / netan::lot_json (schema netan.lot.v2)");
     Ok(())
 }

@@ -218,7 +218,7 @@ mod lot_properties {
             let c = report.counts();
             prop_assert_eq!(c.total(), report.len());
             prop_assert_eq!(c.pass + c.fail + c.ambiguous, 5);
-            let (lo, hi) = report.yield_bounds();
+            let (lo, hi) = report.yield_bounds().expect("non-empty lot has a yield");
             prop_assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0,
                 "yield bounds [{lo}, {hi}]");
         }
@@ -259,6 +259,165 @@ mod lot_properties {
                 prop_assert_eq!(&d.verdict, &first.verdict);
                 prop_assert!(d.plot == first.plot, "zero-sigma plots diverged");
                 prop_assert!(d.fit == first.fit, "zero-sigma fits diverged");
+            }
+        }
+    }
+}
+
+mod escalation_properties {
+    use dut::ActiveRcFilter;
+    use mixsig::units::Seconds;
+    use netan::{
+        AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan, LotReport, SpecVerdict,
+    };
+    use proptest::prelude::*;
+
+    /// Fast escalation settings: short warm-up, M = 20 → 40 → 80 over the
+    /// minimal mask grid.
+    fn stage_base() -> AnalyzerConfig {
+        AnalyzerConfig {
+            warmup_periods: 10,
+            ..AnalyzerConfig::ideal()
+        }
+    }
+
+    fn schedule(budget_screens: f64, plan: &LotPlan, lot: usize) -> EscalationSchedule {
+        let s = EscalationSchedule::from_periods(stage_base(), &[20, 40, 80]);
+        // The budget is expressed as a multiple of the full-lot screening
+        // cost, so `budget_screens = 1.0` means "stage 0 only".
+        let c0 = s.device_stage_time(0, plan.grid()).value();
+        let budget = Seconds(budget_screens * lot as f64 * c0);
+        s.with_budget(budget)
+    }
+
+    fn factory(sigma: f64) -> impl Fn(u64) -> ActiveRcFilter + Sync {
+        move |seed| {
+            ActiveRcFilter::paper_dut()
+                .linearized()
+                .fabricate(sigma, seed)
+        }
+    }
+
+    fn escalated(seed_base: u64, sigma: f64, lot: usize, budget_screens: f64) -> LotReport {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds: Vec<u64> = (0..lot as u64).map(|i| seed_base + i).collect();
+        LotEngine::with_threads(4)
+            .run_escalated(
+                factory(sigma),
+                &seeds,
+                &plan,
+                &schedule(budget_screens, &plan, lot),
+            )
+            .expect("escalated lot run failed")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 5, // each case screens (and partially re-tests) a whole lot
+            ..ProptestConfig::default()
+        })]
+
+        /// A later stage never flips a decided verdict: every device the
+        /// stage-0 screen binned `Pass`/`Fail` keeps its bit-identical
+        /// stage-0 report, and only stage-0-`Ambiguous` devices escalate.
+        #[test]
+        fn later_stages_only_resolve_ambiguity(
+            seed_base in 0u64..100_000,
+            sigma in 0.04..0.12f64,
+        ) {
+            let lot = 4;
+            let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+            let seeds: Vec<u64> = (0..lot as u64).map(|i| seed_base + i).collect();
+            let stage0_only = LotEngine::with_threads(4)
+                .run(factory(sigma), &seeds, &plan, stage_base().with_periods(20))
+                .expect("screening run failed");
+            let report = escalated(seed_base, sigma, lot, 10.0);
+            for (screened, esc) in stage0_only.devices().iter().zip(report.devices()) {
+                if screened.verdict == SpecVerdict::Ambiguous {
+                    prop_assert!(
+                        esc.stage > 0,
+                        "seed {}: ambiguous at stage 0 but never escalated \
+                         despite a generous budget", esc.seed
+                    );
+                } else {
+                    // Decided at the screen: the whole report rides along
+                    // untouched — verdict, plot, fit, provenance.
+                    prop_assert_eq!(screened, esc);
+                }
+            }
+        }
+
+        /// Cumulative per-device test time is exactly the schedule's
+        /// stage-cost prefix sum for the device's final stage — monotone
+        /// in stage index — and the lot total never exceeds the budget.
+        #[test]
+        fn test_time_is_monotone_and_within_budget(
+            seed_base in 0u64..100_000,
+            sigma in 0.04..0.12f64,
+            budget_screens in 1.0..6.0f64,
+        ) {
+            let lot = 4;
+            let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+            let sched = schedule(budget_screens, &plan, lot);
+            let report = escalated(seed_base, sigma, lot, budget_screens);
+            // Prefix sums of the per-device stage costs.
+            let cum: Vec<f64> = sched
+                .stages()
+                .iter()
+                .enumerate()
+                .scan(0.0, |acc, (s, _)| {
+                    *acc += sched.device_stage_time(s, plan.grid()).value();
+                    Some(*acc)
+                })
+                .collect();
+            // Strictly increasing M makes the prefix sums strictly
+            // monotone, so equal-to-prefix implies monotone-in-stage.
+            for w in cum.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            let mut total = 0.0;
+            for d in report.devices() {
+                prop_assert!(
+                    (d.test_time.value() - cum[d.stage]).abs() < 1e-9,
+                    "seed {}: cumulative time {} != prefix sum {} of stage {}",
+                    d.seed, d.test_time.value(), cum[d.stage], d.stage
+                );
+                total += d.test_time.value();
+            }
+            // Device times, stage accounting and the budget all agree.
+            prop_assert!((report.spent().value() - total).abs() < 1e-9);
+            let budget = report.budget().expect("schedule carries a budget");
+            prop_assert!(report.spent().value() <= budget.value() + 1e-9,
+                "spent {} exceeds budget {}", report.spent().value(), budget.value());
+        }
+
+        /// Escalated verdicts are exactly what a direct run at the
+        /// device's final stage produces: for every device that escalated,
+        /// re-running it alone at that stage's configuration reproduces
+        /// the verdict — and the plot — bit for bit.
+        #[test]
+        fn escalated_devices_match_direct_run_at_their_stage(
+            seed_base in 0u64..100_000,
+            sigma in 0.05..0.12f64,
+        ) {
+            let lot = 4;
+            let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+            let sched = schedule(10.0, &plan, lot);
+            let report = escalated(seed_base, sigma, lot, 10.0);
+            for d in report.devices() {
+                if d.stage == 0 {
+                    continue;
+                }
+                let direct = LotEngine::serial()
+                    .run(factory(sigma), &[d.seed], &plan, sched.stages()[d.stage])
+                    .expect("direct run failed");
+                let direct = &direct.devices()[0];
+                prop_assert_eq!(&d.verdict, &direct.verdict,
+                    "seed {}: escalated verdict diverges from a direct run at stage {}",
+                    d.seed, d.stage);
+                prop_assert!(d.plot == direct.plot,
+                    "seed {}: escalated plot diverges from a direct run", d.seed);
+                prop_assert!(d.fit == direct.fit);
             }
         }
     }

@@ -1,21 +1,38 @@
 //! Golden-output tests for the report sinks: the JSON serialization of a
-//! small seeded lot is compared byte-for-byte against a checked-in
-//! fixture, and the CSV layout is pinned. Everything in the pipeline is
-//! seeded, so the bytes are reproducible on a given platform; transcendental
-//! calls (`sin`, `log10`, …) go through the system libm, so a different
-//! platform/libm may drift by an ulp and shift the shortest-round-trip
-//! digits. If that — or a deliberate change — moves the bytes, re-bless
-//! with `UPDATE_GOLDEN=1 cargo test -p netan --test report_golden`.
+//! small seeded lot — plain and escalated — is compared byte-for-byte
+//! against checked-in fixtures, and the CSV layout is pinned. Everything
+//! in the pipeline is seeded, so the bytes are reproducible on a given
+//! platform; transcendental calls (`sin`, `log10`, …) go through the
+//! system libm, so a different platform/libm may drift by an ulp and
+//! shift the shortest-round-trip digits. If that — or a deliberate
+//! change — moves the bytes, re-bless with
+//! `UPDATE_GOLDEN=1 cargo test -p netan --test report_golden`.
 //! The structural tests below are platform-independent.
+//!
+//! `tests/fixtures/lot_small_v1.json` is the frozen `netan.lot.v1`
+//! document from before the v2 schema bump. It is never regenerated —
+//! it exists so the `plot_report` consumer provably keeps reading v1.
 
 use dut::ActiveRcFilter;
+use mixsig::units::Seconds;
 use netan::{
-    bode_json, lot_csv, lot_json, AnalyzerConfig, GainMask, LotEngine, LotPlan, LotReport,
+    bode_json, lot_csv, lot_json, AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan,
+    LotReport,
 };
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../tests/fixtures/lot_small.json"
+);
+
+const ESCALATED_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/lot_escalated.json"
+);
+
+const V1_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/lot_small_v1.json"
 );
 
 fn small_seeded_lot() -> LotReport {
@@ -35,27 +52,84 @@ fn small_seeded_lot() -> LotReport {
         .unwrap()
 }
 
-#[test]
-fn lot_json_matches_golden_fixture() {
-    let json = lot_json(&small_seeded_lot());
+/// A seeded escalated lot whose budget pays for the screen plus some —
+/// not all — re-tests, so the fixture pins every v2 feature at once:
+/// stage summaries, per-device provenance, and an exhausted budget.
+fn escalated_seeded_lot() -> LotReport {
+    let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+    let seeds = [0u64, 1, 2, 3, 4, 5];
+    let free = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 90]);
+    let c0 = free.device_stage_time(0, plan.grid()).value();
+    let c1 = free.device_stage_time(1, plan.grid()).value();
+    let schedule = free.with_budget(Seconds(seeds.len() as f64 * c0 + 1.5 * c1));
+    LotEngine::serial()
+        .run_escalated(
+            |seed| {
+                ActiveRcFilter::paper_dut()
+                    .linearized()
+                    .fabricate(0.09, seed)
+            },
+            &seeds,
+            &plan,
+            &schedule,
+        )
+        .unwrap()
+}
+
+fn check_golden(json: &str, path: &str) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(FIXTURE, format!("{json}\n")).unwrap();
+        std::fs::write(path, format!("{json}\n")).unwrap();
     }
-    let golden = std::fs::read_to_string(FIXTURE).expect("fixture tests/fixtures/lot_small.json");
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("fixture {path}: {e} (bless with UPDATE_GOLDEN=1)"));
     assert_eq!(
         json,
         golden.trim_end(),
-        "lot_json drifted from the fixture; re-bless with UPDATE_GOLDEN=1 if intended"
+        "lot_json drifted from {path}; re-bless with UPDATE_GOLDEN=1 if intended"
     );
+}
+
+#[test]
+fn lot_json_matches_golden_fixture() {
+    check_golden(&lot_json(&small_seeded_lot()), FIXTURE);
+}
+
+#[test]
+fn escalated_lot_json_matches_golden_fixture() {
+    check_golden(&lot_json(&escalated_seeded_lot()), ESCALATED_FIXTURE);
 }
 
 #[test]
 fn lot_json_structure_is_well_formed() {
     let json = lot_json(&small_seeded_lot());
-    assert!(json.starts_with("{\"schema\":\"netan.lot.v1\","));
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v2\","));
     assert!(json.ends_with("]}"));
     assert_eq!(json.matches("\"seed\":").count(), 4);
-    assert_eq!(json.matches("\"freq_hz\":").count(), 4 + 4 * 4); // mask + 4 devices x 4 points
+    // The mask plus 4 devices × 4 points each.
+    assert_eq!(json.matches("\"freq_hz\":").count(), 4 + 4 * 4);
+    // One stage summary (the plain run) plus a provenance field per device.
+    assert_eq!(json.matches("\"stage\":").count(), 1 + 4);
+    assert!(json.contains("\"budget\":{\"limit_s\":null,"));
+    assert!(json.contains("\"exhausted\":false"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(!json.contains("NaN") && !json.contains("inf"));
+}
+
+#[test]
+fn escalated_lot_json_structure_is_well_formed() {
+    let report = escalated_seeded_lot();
+    // The fixture premise: the budget stopped at least one re-test.
+    assert!(report.budget_exhausted());
+    assert_eq!(report.stages().len(), 2);
+    let json = lot_json(&report);
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v2\","));
+    assert_eq!(json.matches("\"seed\":").count(), 6);
+    // Two stage summaries plus one provenance field per device.
+    assert_eq!(json.matches("\"stage\":").count(), 2 + 6);
+    assert!(json.contains("\"exhausted\":true"));
+    assert!(json.contains("\"periods\":30"));
+    assert!(json.contains("\"periods\":90"));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
     assert_eq!(json.matches('[').count(), json.matches(']').count());
     assert!(!json.contains("NaN") && !json.contains("inf"));
@@ -70,10 +144,10 @@ fn lot_csv_rows_and_columns_are_pinned() {
     assert_eq!(lines.len(), 1 + report.len());
     assert_eq!(
         lines[0],
-        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db"
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s"
     );
     for (i, row) in lines[1..].iter().enumerate() {
-        assert_eq!(row.split(',').count(), 7, "row {row}");
+        assert_eq!(row.split(',').count(), 10, "row {row}");
         assert!(row.starts_with(&format!("{i},")), "row {row}");
     }
 }
@@ -87,4 +161,45 @@ fn bode_json_round_trips_the_device_plot() {
     // Fixed-grid sweeps carry round-0 provenance on every point.
     assert_eq!(json.matches("\"round\":0").count(), 4);
     assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+/// Runs the `plot_report` example on a fixture and returns its stdout.
+/// The nested cargo invocation reuses the build cache `cargo test`
+/// already produced for the example target.
+fn plot_report_output(fixture: &str) -> String {
+    let out = std::process::Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", "plot_report", "--"])
+        .arg(fixture)
+        .output()
+        .expect("failed to spawn cargo run --example plot_report");
+    assert!(
+        out.status.success(),
+        "plot_report rejected {fixture}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("plot_report emitted non-UTF-8")
+}
+
+#[test]
+fn plot_report_still_consumes_schema_v1() {
+    // Regression: the v2 schema bump must not orphan saved v1 documents.
+    // The frozen pre-bump fixture has 4 devices x 4 points.
+    let csv = plot_report_output(V1_FIXTURE);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 16, "unexpected row count:\n{csv}");
+    assert!(lines[0].starts_with("seed,verdict,freq_hz,"));
+    // v1 points carry no provenance: every row parses as round 0.
+    for row in &lines[1..] {
+        assert!(row.ends_with(",0"), "row {row}");
+    }
+}
+
+#[test]
+fn plot_report_consumes_schema_v2() {
+    // The consumer reads what the sink now writes: same per-point rows,
+    // with the v2 stage/budget extras ignored.
+    let csv = plot_report_output(ESCALATED_FIXTURE);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 6 * 4, "unexpected row count:\n{csv}");
+    assert!(lines[0].starts_with("seed,verdict,freq_hz,"));
 }
