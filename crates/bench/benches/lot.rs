@@ -16,7 +16,10 @@
 //!   never contradicted (decided vs decided) for devices binned at a
 //!   cheaper one;
 //! * escalation spends **measurably less simulated test time** than the
-//!   deepest-stage reference.
+//!   deepest-stage reference;
+//! * the sharded section's merged partition is **byte-identical** (via
+//!   `lot_json`) to the monolithic report, and a checkpoint drive halted
+//!   mid-lot and resumed reproduces the same bytes.
 //!
 //! Run with `cargo bench --bench lot`; `cargo bench --bench lot --
 //! --smoke` runs a reduced lot (CI exercises the parallel paths under
@@ -117,6 +120,61 @@ fn main() {
         "lot_{label} throughput: {:.1} devices/s parallel vs {:.1} devices/s serial",
         seeds.len() as f64 / parallel_time.as_secs_f64().max(1e-12),
         seeds.len() as f64 / serial_time.as_secs_f64().max(1e-12),
+    );
+
+    // ------------------------------------------------------------------
+    // Sharded execution: the lot as adjacent seed ranges, merged back.
+    // ------------------------------------------------------------------
+    let shards: u64 = if smoke { 3 } else { 4 };
+    let per_shard = lot_size / shards;
+    let monolithic_json = netan::lot_json(&serial_report);
+
+    let run_sharded = || {
+        let start = Instant::now();
+        let merged = (0..shards)
+            .map(|i| {
+                let range = i * per_shard..(i + 1) * per_shard;
+                parallel_engine
+                    .run_range(factory, range, &plan, config)
+                    .expect("shard run failed")
+            })
+            .reduce(LotReport::merge)
+            .expect("at least one shard");
+        (merged, start.elapsed())
+    };
+
+    // Correctness gates, before any timing is reported: the merged
+    // partition reproduces the monolithic document byte for byte, and a
+    // checkpoint drive killed after one fresh shard resumes to the same
+    // bytes.
+    let (merged, shard_time_a) = run_sharded();
+    assert_eq!(
+        netan::lot_json(&merged),
+        monolithic_json,
+        "merged shards diverged from the monolithic lot_json"
+    );
+    let ckpt_dir = std::env::temp_dir().join(format!("netan-bench-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let halted = netan::LotCheckpoint::new(&ckpt_dir, per_shard)
+        .with_shard_limit(1)
+        .run(&parallel_engine, factory, 0..lot_size, &plan, config)
+        .expect("halted checkpoint drive failed");
+    assert!(!halted.shard().expect("halted drive has a span").complete);
+    let resumed = netan::LotCheckpoint::new(&ckpt_dir, per_shard)
+        .run(&parallel_engine, factory, 0..lot_size, &plan, config)
+        .expect("resumed checkpoint drive failed");
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    assert_eq!(
+        netan::lot_json(&resumed),
+        monolithic_json,
+        "kill-and-resume diverged from the monolithic lot_json"
+    );
+
+    let (_, shard_time_b) = run_sharded();
+    let shard_time = shard_time_a.min(shard_time_b);
+    println!(
+        "lot_{label}_sharded/{lot_size}_devices_{shards}_shards  merged   {shard_time:>12?}   \
+         (byte-identical to monolithic: yes; kill-and-resume byte-identical: yes)"
     );
 
     // ------------------------------------------------------------------

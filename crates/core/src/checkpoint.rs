@@ -1,0 +1,432 @@
+//! Checkpoint/resume for sharded lot runs.
+//!
+//! A wafer-scale lot (ROADMAP: 10⁵–10⁶ devices) cannot assume it
+//! finishes in one process lifetime. [`LotCheckpoint`] drives a lot as
+//! a sequence of fixed-size seed shards ([`LotEngine::run_range`] /
+//! [`LotEngine::run_escalated_range`]), persisting each completed
+//! shard's partial `netan.lot.v3` document under a directory and
+//! merging everything — loaded and freshly run alike — with
+//! [`LotReport::merge`] in seed order.
+//!
+//! Restarting the same drive resumes from the highest complete seed
+//! index on disk: every shard whose document is present, parseable and
+//! span-matched is loaded instead of re-run; anything missing, torn or
+//! stale is simply measured again. Because `netan.lot.v3` re-renders
+//! parsed documents byte for byte
+//! ([`parse_lot_json`]), an interrupted
+//! and resumed lot produces the **identical** final document an
+//! uninterrupted run would have — the resume-equality guarantee the
+//! property suite and the lot bench assert.
+//!
+//! Shard files are written atomically (temp file + rename), so a crash
+//! mid-write leaves at worst an ignorable torn temp file, never a
+//! corrupt checkpoint.
+
+use crate::analyzer::AnalyzerConfig;
+use crate::error::NetanError;
+use crate::lot::{EscalationSchedule, LotEngine, LotPlan, LotReport, ShardSpan};
+use crate::report::{lot_json, parse_lot_json};
+use dut::Dut;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Error from a checkpointed lot drive.
+///
+/// Deliberately not `Copy`/`Eq`: it carries paths and
+/// [`io::Error`] sources. Unreadable or unparseable shard files are
+/// **not** errors — they are treated as absent and re-measured — so
+/// this type only surfaces problems that genuinely stop the drive.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint directory or a shard document could not be
+    /// written.
+    Io {
+        /// The path being written when the failure occurred.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The lot itself failed (validation or a device error) — same
+    /// semantics as the underlying engine run.
+    Lot(NetanError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint i/o failed at {}: {source}", path.display())
+            }
+            CheckpointError::Lot(e) => write!(f, "lot run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            CheckpointError::Lot(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetanError> for CheckpointError {
+    fn from(e: NetanError) -> Self {
+        CheckpointError::Lot(e)
+    }
+}
+
+/// Drives a lot in fixed-size seed shards with per-shard persistence
+/// and resume.
+///
+/// # Example
+///
+/// ```
+/// use netan::{AnalyzerConfig, GainMask, LotCheckpoint, LotEngine, LotPlan};
+/// use dut::ActiveRcFilter;
+///
+/// let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+/// let dir = std::env::temp_dir().join(format!("netan-ckpt-doc-{}", std::process::id()));
+/// let ckpt = LotCheckpoint::new(&dir, 2);
+/// let report = ckpt.run(
+///     &LotEngine::serial(),
+///     |seed| ActiveRcFilter::paper_dut().linearized().fabricate(0.02, seed),
+///     0..4,
+///     &plan,
+///     AnalyzerConfig::ideal().with_periods(50),
+/// )?;
+/// assert_eq!(report.len(), 4);
+/// assert!(report.shard().unwrap().complete);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), netan::CheckpointError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LotCheckpoint {
+    dir: PathBuf,
+    shard_devices: u64,
+    shard_limit: Option<usize>,
+}
+
+impl LotCheckpoint {
+    /// A checkpoint driver persisting under `dir` (created on first
+    /// persist), splitting lots into shards of `shard_devices` seeds
+    /// (the final shard of a lot may be smaller).
+    ///
+    /// Resume matches shards by their exact seed span, so a drive must
+    /// keep the same `shard_devices` across restarts to reuse its
+    /// checkpoints — a mismatched split is re-measured, never
+    /// mis-merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_devices` is zero.
+    pub fn new(dir: impl Into<PathBuf>, shard_devices: u64) -> Self {
+        assert!(shard_devices > 0, "shards need at least one device");
+        Self {
+            dir: dir.into(),
+            shard_devices,
+            shard_limit: None,
+        }
+    }
+
+    /// Halts the drive after `limit` freshly measured shards (loaded
+    /// checkpoints are free), returning the partial merge with the
+    /// *intended* span marked `complete: false` — the hook the
+    /// kill-and-resume tests and the `production_screening --halt-after`
+    /// flag use to interrupt a lot deterministically.
+    #[must_use]
+    pub fn with_shard_limit(mut self, limit: usize) -> Self {
+        self.shard_limit = Some(limit);
+        self
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Devices per shard.
+    pub fn shard_devices(&self) -> u64 {
+        self.shard_devices
+    }
+
+    /// The path of the shard document covering `span`.
+    pub fn shard_path(&self, span: &Range<u64>) -> PathBuf {
+        self.dir
+            .join(format!("shard-{:08}-{:08}.json", span.start, span.end))
+    }
+
+    /// Drives `lot` through `engine.run_range` shard by shard,
+    /// persisting and resuming as described on the type.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Lot`] for engine failures (including an empty
+    /// `lot`), [`CheckpointError::Io`] if a shard document cannot be
+    /// persisted.
+    pub fn run<D, F>(
+        &self,
+        engine: &LotEngine,
+        factory: F,
+        lot: Range<u64>,
+        plan: &LotPlan,
+        config: AnalyzerConfig,
+    ) -> Result<LotReport, CheckpointError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        self.drive(lot, plan, |span| {
+            engine.run_range(&factory, span, plan, config)
+        })
+    }
+
+    /// Drives `lot` through `engine.run_escalated_range` shard by
+    /// shard. The schedule's budget (if any) applies **per shard** —
+    /// see the [sharding caveat](crate::lot#sharding); resume-equality
+    /// to an uninterrupted drive holds either way, byte-identity to a
+    /// monolithic `run_escalated` only for unbudgeted schedules.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus every `run_escalated` error
+    /// (budget-below-screen, adaptive plan).
+    pub fn run_escalated<D, F>(
+        &self,
+        engine: &LotEngine,
+        factory: F,
+        lot: Range<u64>,
+        plan: &LotPlan,
+        schedule: &EscalationSchedule,
+    ) -> Result<LotReport, CheckpointError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        self.drive(lot, plan, |span| {
+            engine.run_escalated_range(&factory, span, plan, schedule)
+        })
+    }
+
+    fn drive(
+        &self,
+        lot: Range<u64>,
+        plan: &LotPlan,
+        run_shard: impl Fn(Range<u64>) -> Result<LotReport, NetanError>,
+    ) -> Result<LotReport, CheckpointError> {
+        if lot.start >= lot.end {
+            return Err(CheckpointError::Lot(NetanError::EmptyLot));
+        }
+        let mut merged: Option<LotReport> = None;
+        let mut fresh = 0usize;
+        let mut start = lot.start;
+        while start < lot.end {
+            let end = lot.end.min(start.saturating_add(self.shard_devices));
+            let span = start..end;
+            let report = match self.load_shard(&span, plan) {
+                Some(loaded) => loaded,
+                None => {
+                    if self.shard_limit.is_some_and(|limit| fresh >= limit) {
+                        // Deterministic halt: hand back what is merged
+                        // so far, marked as the incomplete prefix of
+                        // the intended lot.
+                        let partial = merged.unwrap_or_else(|| LotReport::empty(plan));
+                        return Ok(partial.with_shard(ShardSpan {
+                            seed_start: lot.start,
+                            seed_end: lot.end,
+                            complete: false,
+                        }));
+                    }
+                    let ran = run_shard(span.clone())?;
+                    self.persist(&span, &ran)?;
+                    fresh += 1;
+                    ran
+                }
+            };
+            merged = Some(match merged {
+                None => report,
+                Some(m) => m.merge(report),
+            });
+            start = end;
+        }
+        Ok(merged.expect("non-empty lot merged at least one shard"))
+    }
+
+    /// Loads the persisted shard covering `span`, or `None` when it
+    /// must be (re-)measured: file absent or unreadable, document
+    /// unparseable (e.g. a torn write), span/mask mismatched, or not
+    /// marked complete.
+    fn load_shard(&self, span: &Range<u64>, plan: &LotPlan) -> Option<LotReport> {
+        let text = std::fs::read_to_string(self.shard_path(span)).ok()?;
+        let report = parse_lot_json(&text).ok()?;
+        let shard = report.shard()?;
+        let matches = shard.complete
+            && shard.seed_start == span.start
+            && shard.seed_end == span.end
+            && report.mask() == plan.mask();
+        matches.then_some(report)
+    }
+
+    /// Persists a completed shard document atomically: written to a
+    /// sibling temp file, then renamed into place.
+    fn persist(&self, span: &Range<u64>, report: &LotReport) -> Result<(), CheckpointError> {
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source| CheckpointError::Io { path, source }
+        };
+        std::fs::create_dir_all(&self.dir).map_err(io_err(&self.dir))?;
+        let path = self.shard_path(span);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, format!("{}\n", lot_json(report))).map_err(io_err(&tmp))?;
+        std::fs::rename(&tmp, &path).map_err(io_err(&path))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GainMask;
+    use dut::ActiveRcFilter;
+
+    fn factory(seed: u64) -> ActiveRcFilter {
+        ActiveRcFilter::paper_dut()
+            .linearized()
+            .fabricate(0.05, seed)
+    }
+
+    fn plan() -> LotPlan {
+        LotPlan::from_mask(GainMask::paper_lowpass())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("netan-ckpt-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn constructor_and_paths() {
+        let c = LotCheckpoint::new("/tmp/x", 16);
+        assert_eq!(c.dir(), Path::new("/tmp/x"));
+        assert_eq!(c.shard_devices(), 16);
+        assert_eq!(
+            c.shard_path(&(0..16)),
+            Path::new("/tmp/x/shard-00000000-00000016.json")
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_shard_size_panics() {
+        let _ = LotCheckpoint::new("/tmp/x", 0);
+    }
+
+    #[test]
+    fn empty_lot_is_a_lot_error() {
+        let ckpt = LotCheckpoint::new(temp_dir("empty"), 4);
+        let err = ckpt
+            .run(
+                &LotEngine::serial(),
+                factory,
+                3..3,
+                &plan(),
+                AnalyzerConfig::ideal().with_periods(50),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Lot(NetanError::EmptyLot)));
+        assert!(err.to_string().contains("lot run failed"));
+    }
+
+    #[test]
+    fn drive_halt_and_resume_reproduce_the_uninterrupted_document() {
+        let dir = temp_dir("resume");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = plan();
+        let config = AnalyzerConfig::ideal().with_periods(50);
+        let engine = LotEngine::serial();
+
+        // The uninterrupted reference: same lot, no checkpoint dir.
+        let whole = engine.run_range(factory, 0..6, &plan, config).unwrap();
+
+        // Halt after two fresh shards: 4 of 6 devices measured.
+        let halted = LotCheckpoint::new(&dir, 2)
+            .with_shard_limit(2)
+            .run(&engine, factory, 0..6, &plan, config)
+            .unwrap();
+        assert_eq!(halted.len(), 4);
+        let span = halted.shard().expect("halted drive declares its span");
+        assert_eq!(
+            (span.seed_start, span.seed_end, span.complete),
+            (0, 6, false)
+        );
+
+        // Resume: the two persisted shards load, the third runs fresh.
+        let resumed = LotCheckpoint::new(&dir, 2)
+            .run(&engine, factory, 0..6, &plan, config)
+            .unwrap();
+        assert_eq!(
+            crate::report::lot_json(&resumed),
+            crate::report::lot_json(&whole)
+        );
+
+        // A second resume is a pure replay from disk — same bytes again.
+        let replayed = LotCheckpoint::new(&dir, 2)
+            .run(&engine, factory, 0..6, &plan, config)
+            .unwrap();
+        assert_eq!(
+            crate::report::lot_json(&replayed),
+            crate::report::lot_json(&whole)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_shard_document_is_re_measured() {
+        let dir = temp_dir("torn");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = plan();
+        let config = AnalyzerConfig::ideal().with_periods(50);
+        let engine = LotEngine::serial();
+        let ckpt = LotCheckpoint::new(&dir, 2);
+        let whole = engine.run_range(factory, 0..4, &plan, config).unwrap();
+        ckpt.run(&engine, factory, 0..4, &plan, config).unwrap();
+
+        // Corrupt the first shard mid-document, as a crash during a
+        // non-atomic write would have.
+        let victim = ckpt.shard_path(&(0..2));
+        let text = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+
+        let recovered = ckpt.run(&engine, factory, 0..4, &plan, config).unwrap();
+        assert_eq!(
+            crate::report::lot_json(&recovered),
+            crate::report::lot_json(&whole)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halt_before_any_shard_returns_the_empty_incomplete_prefix() {
+        let dir = temp_dir("limit0");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = plan();
+        let halted = LotCheckpoint::new(&dir, 2)
+            .with_shard_limit(0)
+            .run(
+                &LotEngine::serial(),
+                factory,
+                0..4,
+                &plan,
+                AnalyzerConfig::ideal().with_periods(50),
+            )
+            .unwrap();
+        assert!(halted.is_empty());
+        let span = halted.shard().unwrap();
+        assert_eq!(
+            (span.seed_start, span.seed_end, span.complete),
+            (0, 4, false)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -31,6 +31,13 @@ pub enum NetanError {
         /// requirement is not even finite).
         required_periods: u64,
     },
+    /// An escalation schedule was asked to run over an adaptive
+    /// [`LotPlan`](crate::lot::LotPlan): per-device refined grids would
+    /// make the projected stage cost — and hence the budget gate —
+    /// device-dependent and unknowable before measuring. Escalate on a
+    /// fixed grid, or refine without a schedule via
+    /// [`LotEngine::run`](crate::lot::LotEngine::run).
+    AdaptivePlanUnsupported,
     /// An escalation schedule's test-time budget cannot even cover the
     /// stage-0 screening pass over the whole lot — no device would get a
     /// verdict at all. Raise the budget, shrink the lot, or cheapen the
@@ -70,6 +77,15 @@ impl std::fmt::Display for NetanError {
                     "planned evaluation length overflows the period counter \
                      (≥ {required_periods} periods required); relax the \
                      tolerance or raise the expected level"
+                )
+            }
+            NetanError::AdaptivePlanUnsupported => {
+                write!(
+                    f,
+                    "escalation schedules require a fixed-grid plan: adaptive \
+                     refinement makes per-device stage costs unknowable before \
+                     measuring; escalate on a fixed grid or refine without a \
+                     schedule"
                 )
             }
             NetanError::BudgetExhausted {
@@ -131,6 +147,9 @@ mod tests {
         assert!(b.to_string().contains("12.5 s"));
         assert!(b.to_string().contains("4 s"));
         assert!(b.to_string().contains("budget"));
+        let a = NetanError::AdaptivePlanUnsupported;
+        assert!(a.to_string().contains("fixed-grid"));
+        assert!(a.to_string().contains("adaptive"));
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //!   screens the lot at a cheap `M` and re-tests only still-ambiguous
 //!   devices at deeper stages — the paper's accuracy-for-test-time trade
 //!   as an operational policy,
+//! * **sharded lots** ([`LotEngine::run_range`], [`LotReport::merge`])
+//!   with **checkpoint/resume** ([`LotCheckpoint`]): a lot split into
+//!   seed ranges merges back byte-identical to the monolithic run, and
+//!   an interrupted drive resumes from its persisted `netan.lot.v3`
+//!   shard documents,
 //! * a **harmonic distortion** mode (paper Fig. 10c), serial or parallel
 //!   per harmonic,
 //! * **report sinks**: tables, CSV and JSON for Bode plots and lot
@@ -52,6 +57,7 @@
 
 pub mod adaptive;
 pub mod analyzer;
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod harmonics;
@@ -64,14 +70,19 @@ pub mod sweep;
 
 pub use adaptive::{interpolate_gain_db, reconstruction_error_db, AdaptiveSweep, RefinementPolicy};
 pub use analyzer::{AnalyzerConfig, BodePoint, Calibration, HardwareProfile, NetworkAnalyzer};
+pub use checkpoint::{CheckpointError, LotCheckpoint};
 pub use engine::SweepEngine;
 pub use error::NetanError;
 pub use harmonics::DistortionReport;
 pub use lot::{
-    DeviceReport, EscalationSchedule, LotEngine, LotPlan, LotReport, StageSummary, VerdictCounts,
+    DeviceReport, EscalationSchedule, LotEngine, LotPlan, LotReport, ShardSpan, StageSummary,
+    VerdictCounts,
 };
-pub use plan::{measurement_time, plan_measurement, TestPlan};
-pub use report::{bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_table};
+pub use plan::{grid_time, measurement_time, plan_measurement, TestPlan};
+pub use report::{
+    bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_table,
+    parse_lot_json, ReportParseError,
+};
 pub use spec::{GainMask, MaskPoint, SpecVerdict};
 pub use sweep::{log_spaced, BodePlot, LowpassFit};
 

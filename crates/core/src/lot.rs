@@ -42,17 +42,38 @@
 //! devices remain ambiguous. Hard enclosures make the policy sound: a
 //! deeper stage can only *narrow* an enclosure around the same truth, so
 //! a decided `Pass`/`Fail` is never re-tested and never flips.
+//!
+//! # Sharding
+//!
+//! A lot does not have to be one call: [`LotEngine::run_range`] and
+//! [`LotEngine::run_escalated_range`] characterize any contiguous seed
+//! range as an independent **shard** (calibration stays amortized per
+//! analyzer configuration per shard), and [`LotReport::merge`] joins
+//! adjacent shards into the byte-identical report one monolithic run
+//! would have produced, with [`LotReport::empty`] as the identity.
+//! Shard provenance travels as a [`ShardSpan`] through the
+//! `netan.lot.v3` JSON schema, which is what the
+//! [`checkpoint`](crate::checkpoint) driver persists per shard and
+//! resumes a lot from after an interruption.
+//!
+//! One caveat: a budgeted escalation schedule gates re-tests on a
+//! *global* seed-order prefix, which no shard can reproduce locally, so
+//! under sharding the budget applies **per shard**. Byte-identity to a
+//! monolithic run therefore holds for unbudgeted schedules (and plain
+//! runs); budgeted sharded lots are deterministic but answer a
+//! different — per-shard — budget question.
 
 use crate::adaptive::{AdaptiveSweep, RefinementPolicy};
 use crate::analyzer::{AnalyzerConfig, BodePoint, Calibration, NetworkAnalyzer};
 use crate::engine::SweepEngine;
 use crate::error::NetanError;
-use crate::plan::measurement_time;
+use crate::plan::{grid_time, measurement_time};
 use crate::pool;
 use crate::spec::{GainMask, SpecVerdict};
 use crate::sweep::{unwrap_phase_by_continuity, BodePlot, LowpassFit};
 use dut::{Bypass, Dut};
 use mixsig::units::{Hertz, Seconds};
+use std::ops::Range;
 
 /// A lot screening plan: the sweep grid and the gain mask to classify
 /// against.
@@ -226,6 +247,17 @@ impl EscalationSchedule {
         self
     }
 
+    /// Returns the schedule with any budget removed. Sharded and
+    /// checkpointed drives use this: a budget gates devices by their
+    /// global lot prefix, which a shard cannot observe (see
+    /// [Sharding](self#sharding)), so dropping it restores byte-identity
+    /// between a merged partition and the monolithic run.
+    #[must_use]
+    pub fn without_budget(mut self) -> Self {
+        self.budget = None;
+        self
+    }
+
     /// The per-stage analyzer configurations, stage 0 first.
     pub fn stages(&self) -> &[AnalyzerConfig] {
         &self.stages
@@ -246,9 +278,46 @@ impl EscalationSchedule {
     /// Panics if `stage` is out of range or `grid` contains a
     /// non-positive frequency.
     pub fn device_stage_time(&self, stage: usize, grid: &[Hertz]) -> Seconds {
-        let m = self.stages[stage].periods;
-        grid.iter()
-            .fold(Seconds(0.0), |acc, &f| acc + measurement_time(m, f))
+        grid_time(self.stages[stage].periods, grid)
+    }
+}
+
+/// The contiguous device-seed range a [`LotReport`] covers — the
+/// provenance that makes shard merges auditable and checkpoint resume
+/// safe.
+///
+/// Engine runs over a contiguous seed range attach a complete span,
+/// [`LotReport::merge`] joins adjacent spans, and a
+/// [`checkpoint`](crate::checkpoint) drive that halted mid-lot marks
+/// the *intended* span `complete: false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// First device seed of the span (inclusive).
+    pub seed_start: u64,
+    /// One past the last device seed of the span (exclusive).
+    pub seed_end: u64,
+    /// Whether every device of the span was measured.
+    pub complete: bool,
+}
+
+impl ShardSpan {
+    /// A complete span covering `range`.
+    pub fn complete(range: Range<u64>) -> Self {
+        Self {
+            seed_start: range.start,
+            seed_end: range.end,
+            complete: true,
+        }
+    }
+
+    /// Number of seeds the span covers.
+    pub fn len(&self) -> u64 {
+        self.seed_end.saturating_sub(self.seed_start)
+    }
+
+    /// Whether the span covers no seeds.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -266,6 +335,65 @@ pub struct StageSummary {
     pub counts: VerdictCounts,
     /// Simulated test time spent at this stage across all tested devices.
     pub time: Seconds,
+    /// Uniform per-device cost of this stage
+    /// ([`crate::plan::grid_time`] at the stage's `M`), or `None` when
+    /// the cost is device-dependent (adaptive plans).
+    /// [`StageSummary::merge`] re-derives the merged `time` from it, so
+    /// shard merges reproduce a monolithic run's fold bit for bit.
+    pub device_time: Option<Seconds>,
+}
+
+impl StageSummary {
+    /// Merges the accounting of the same schedule stage from two
+    /// seed-disjoint shards: tested counts and verdict histograms add,
+    /// and — when the uniform per-device cost is known — the merged
+    /// `time` continues `self`'s accumulation by `other.tested` more
+    /// per-device steps, reproducing the monolithic left fold bit for
+    /// bit. Associative.
+    ///
+    /// Without a uniform cost (adaptive plans) the stage times are
+    /// summed; [`LotReport::merge`] instead re-folds such single-stage
+    /// summaries over the merged device list, preserving byte-identity
+    /// there too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summaries disagree on `stage`, `periods`, or (when
+    /// both carry one) the per-device cost.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        assert_eq!(
+            self.stage, other.stage,
+            "stage summaries merge by aligned stage index"
+        );
+        assert_eq!(
+            self.periods, other.periods,
+            "one schedule stage cannot have two different M"
+        );
+        let device_time = match (self.device_time, other.device_time) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    a.value().to_bits(),
+                    b.value().to_bits(),
+                    "shards of one lot share the per-device stage cost"
+                );
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+        let time = match device_time {
+            Some(c) => (0..other.tested).fold(self.time, |acc, _| acc + c),
+            None => self.time + other.time,
+        };
+        Self {
+            stage: self.stage,
+            periods: self.periods,
+            tested: self.tested + other.tested,
+            counts: self.counts.merge(other.counts),
+            time,
+            device_time,
+        }
+    }
 }
 
 /// One device's characterization within a lot.
@@ -328,6 +456,18 @@ impl VerdictCounts {
         }
         c
     }
+
+    /// Merges two histograms by fieldwise addition — the tally of the
+    /// union of two disjoint device sets. Associative and commutative,
+    /// with the all-zero histogram as the identity.
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            pass: self.pass + other.pass,
+            fail: self.fail + other.fail,
+            ambiguous: self.ambiguous + other.ambiguous,
+        }
+    }
 }
 
 /// The result of a lot run: per-device reports in seed order, the mask
@@ -340,6 +480,7 @@ pub struct LotReport {
     stages: Vec<StageSummary>,
     budget: Option<Seconds>,
     budget_exhausted: bool,
+    shard: Option<ShardSpan>,
 }
 
 impl LotReport {
@@ -353,7 +494,16 @@ impl LotReport {
             stages: Vec::new(),
             budget: None,
             budget_exhausted: false,
+            shard: None,
         }
+    }
+
+    /// The identity of [`merge`](Self::merge): no devices, no stages,
+    /// no budget, no shard provenance, `plan`'s mask. Merging it on
+    /// either side of any report over the same plan returns that report
+    /// unchanged.
+    pub fn empty(plan: &LotPlan) -> Self {
+        Self::new(plan.mask().clone(), Vec::new())
     }
 
     /// Returns the report with per-stage accounting attached.
@@ -370,6 +520,23 @@ impl LotReport {
         self.budget = budget;
         self.budget_exhausted = exhausted;
         self
+    }
+
+    /// Returns the report with explicit shard provenance — used by the
+    /// [`checkpoint`](crate::checkpoint) driver (a halted drive marks
+    /// the intended span incomplete) and by the `netan.lot.v3` loader.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardSpan) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The device-seed span this report covers, when known: attached by
+    /// range runs, by slice runs over contiguous ascending seeds, and
+    /// by merges of adjacent shards. `None` for synthetic reports and
+    /// arbitrary seed lists.
+    pub fn shard(&self) -> Option<ShardSpan> {
+        self.shard
     }
 
     /// Per-device reports, in the seed order of the run.
@@ -438,6 +605,123 @@ impl LotReport {
             c.pass as f64 / total as f64,
             (c.pass + c.ambiguous) as f64 / total as f64,
         ))
+    }
+
+    /// Whether this report is the [`empty`](Self::empty) identity.
+    fn is_merge_identity(&self) -> bool {
+        self.devices.is_empty()
+            && self.stages.is_empty()
+            && self.budget.is_none()
+            && !self.budget_exhausted
+            && self.shard.is_none()
+    }
+
+    /// Merges two seed-disjoint reports over the same mask into the
+    /// report one run over the union would have produced — byte
+    /// identical through [`lot_json`](crate::report::lot_json) when the
+    /// operands are adjacent shards of a monolithic `run`/
+    /// `run_escalated` (unbudgeted: a budget gates re-tests on a
+    /// *global* seed-order prefix no shard can see, so budgeted
+    /// schedules are budgeted per shard).
+    ///
+    /// The operation is associative with [`LotReport::empty`] as a
+    /// two-sided identity: device lists concatenate in seed order,
+    /// stage summaries align by stage index — a shard whose escalation
+    /// stopped early contributes its devices' final verdicts to the
+    /// stages it never ran — budget ledgers sum, the exhaustion flags
+    /// OR, and adjacent [`ShardSpan`]s join (provenance degrades to
+    /// `None` if either side has none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks differ, the device seed lists are not
+    /// ascending-disjoint, or both sides carry shard spans that are not
+    /// adjacent (`self` ending exactly where `other` starts).
+    #[must_use]
+    pub fn merge(self, other: Self) -> Self {
+        assert_eq!(self.mask, other.mask, "shards of one lot share the mask");
+        if self.is_merge_identity() {
+            return other;
+        }
+        if other.is_merge_identity() {
+            return self;
+        }
+
+        if let (Some(last), Some(first)) = (self.devices.last(), other.devices.first()) {
+            assert!(
+                last.seed < first.seed,
+                "device lists must concatenate in ascending seed order \
+                 ({} then {})",
+                last.seed,
+                first.seed
+            );
+        }
+        let shard = match (self.shard, other.shard) {
+            (Some(a), Some(b)) => {
+                assert_eq!(
+                    a.seed_end, b.seed_start,
+                    "shard spans must be adjacent to merge"
+                );
+                Some(ShardSpan {
+                    seed_start: a.seed_start,
+                    seed_end: b.seed_end,
+                    complete: a.complete && b.complete,
+                })
+            }
+            _ => None,
+        };
+
+        // A shard whose escalation stopped before stage `s` (nothing
+        // left ambiguous, or nothing affordable) still holds a verdict
+        // for every one of its devices at that stage — the final one.
+        // The synthetic summary contributes exactly that tally and no
+        // tested devices or time, which keeps the carry-forward
+        // associative.
+        let synthetic = |devices: &[DeviceReport], like: &StageSummary| StageSummary {
+            stage: like.stage,
+            periods: like.periods,
+            tested: 0,
+            counts: VerdictCounts::tally(devices),
+            time: Seconds(0.0),
+            device_time: None,
+        };
+        let depth = self.stages.len().max(other.stages.len());
+        let mut stages = Vec::with_capacity(depth);
+        for s in 0..depth {
+            stages.push(match (self.stages.get(s), other.stages.get(s)) {
+                (Some(&a), Some(&b)) => a.merge(b),
+                (Some(&a), None) => a.merge(synthetic(&other.devices, &a)),
+                (None, Some(&b)) => synthetic(&self.devices, &b).merge(b),
+                (None, None) => unreachable!("s < max(stage depths)"),
+            });
+        }
+
+        let mut devices = self.devices;
+        devices.extend(other.devices);
+
+        // Adaptive plans have no uniform per-device cost; their single
+        // stage's time is re-folded over the merged device list — the
+        // exact accumulation a monolithic run performs.
+        if let [only] = stages.as_mut_slice() {
+            if only.device_time.is_none() {
+                only.time = devices
+                    .iter()
+                    .fold(Seconds(0.0), |acc, d| acc + d.test_time);
+            }
+        }
+
+        let budget = match (self.budget, other.budget) {
+            (Some(a), Some(b)) => Some(a + b),
+            (a, b) => a.or(b),
+        };
+        Self {
+            mask: self.mask,
+            devices,
+            stages,
+            budget,
+            budget_exhausted: self.budget_exhausted || other.budget_exhausted,
+            shard,
+        }
     }
 }
 
@@ -521,6 +805,11 @@ impl LotEngine {
     /// fanning devices across the worker pool. Calibration is performed
     /// once for `config` and shared read-only by every device.
     ///
+    /// A contiguous ascending seed slice (`s, s+1, …`) gets a complete
+    /// [`ShardSpan`] attached — a plain `run` is "one shard covering
+    /// the whole lot" ([`run_range`](Self::run_range)); arbitrary seed
+    /// lists carry no span.
+    ///
     /// # Errors
     ///
     /// * [`NetanError::EmptyLot`] for an empty seed list,
@@ -532,6 +821,62 @@ impl LotEngine {
     ///   response is non-finite at a plan frequency,
     /// * per-device measurement errors, lowest seed index first.
     pub fn run<D, F>(
+        &self,
+        factory: F,
+        seeds: &[u64],
+        plan: &LotPlan,
+        config: AnalyzerConfig,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        let mut report = self.run_seeds(factory, seeds, plan, config)?;
+        report.shard = Self::slice_span(seeds);
+        Ok(report)
+    }
+
+    /// Characterizes the contiguous seed range `seed_range` as one
+    /// **shard** of a larger lot: exactly [`run`](Self::run) over those
+    /// seeds, with a complete [`ShardSpan`] attached. Merging the
+    /// shards of any seed-contiguous partition with
+    /// [`LotReport::merge`] is byte-identical (through
+    /// [`lot_json`](crate::report::lot_json)) to one monolithic `run`
+    /// over the whole range.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Self::run) returns;
+    /// [`NetanError::EmptyLot`] for an empty range.
+    pub fn run_range<D, F>(
+        &self,
+        factory: F,
+        seed_range: Range<u64>,
+        plan: &LotPlan,
+        config: AnalyzerConfig,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        let seeds: Vec<u64> = seed_range.clone().collect();
+        let report = self.run_seeds(factory, &seeds, plan, config)?;
+        Ok(report.with_shard(ShardSpan::complete(seed_range)))
+    }
+
+    /// The shard span of an explicit seed slice: a complete span when
+    /// the slice is one contiguous ascending run, `None` otherwise —
+    /// an arbitrary seed list has no range provenance.
+    fn slice_span(seeds: &[u64]) -> Option<ShardSpan> {
+        let (&first, &last) = (seeds.first()?, seeds.last()?);
+        let end = last.checked_add(1)?;
+        seeds
+            .windows(2)
+            .all(|w| w[0].checked_add(1) == Some(w[1]))
+            .then(|| ShardSpan::complete(first..end))
+    }
+
+    fn run_seeds<D, F>(
         &self,
         factory: F,
         seeds: &[u64],
@@ -558,6 +903,12 @@ impl LotEngine {
             time: devices
                 .iter()
                 .fold(Seconds(0.0), |acc, d| acc + d.test_time),
+            // Fixed grids cost the same on every device; adaptive plans
+            // refine per device, so no uniform cost exists.
+            device_time: plan
+                .refinement()
+                .is_none()
+                .then(|| grid_time(config.periods, plan.grid())),
         };
         Ok(LotReport::new(plan.mask().clone(), devices).with_stages(vec![summary]))
     }
@@ -584,14 +935,13 @@ impl LotEngine {
     ///
     /// Everything [`run`](Self::run) returns, plus
     /// [`NetanError::BudgetExhausted`] when the budget cannot even cover
-    /// the stage-0 screening pass (rejected before any simulation).
-    ///
-    /// # Panics
-    ///
-    /// Panics on an adaptive [`LotPlan`]: per-device refined grids would
-    /// make the projected stage cost — and hence the budget gate —
-    /// device-dependent and unknowable before measuring. Escalate on a
-    /// fixed grid, or refine without a schedule via [`run`](Self::run).
+    /// the stage-0 screening pass, and
+    /// [`NetanError::AdaptivePlanUnsupported`] for an adaptive
+    /// [`LotPlan`] — per-device refined grids would make the projected
+    /// stage cost, and hence the budget gate, device-dependent and
+    /// unknowable before measuring (escalate on a fixed grid, or refine
+    /// without a schedule via [`run`](Self::run)). Both are rejected
+    /// before any simulation.
     pub fn run_escalated<D, F>(
         &self,
         factory: F,
@@ -603,10 +953,55 @@ impl LotEngine {
         D: Dut,
         F: Fn(u64) -> D + Sync,
     {
-        assert!(
-            plan.refinement().is_none(),
-            "escalation schedules require a fixed-grid plan"
-        );
+        let mut report = self.run_escalated_seeds(factory, seeds, plan, schedule)?;
+        report.shard = Self::slice_span(seeds);
+        Ok(report)
+    }
+
+    /// Escalation-screens the contiguous seed range `seed_range` as one
+    /// **shard** of a larger lot: exactly
+    /// [`run_escalated`](Self::run_escalated) over those seeds, with a
+    /// complete [`ShardSpan`] attached. For unbudgeted schedules,
+    /// merging the shards of any seed-contiguous partition with
+    /// [`LotReport::merge`] is byte-identical (through
+    /// [`lot_json`](crate::report::lot_json)) to one monolithic
+    /// `run_escalated` over the whole range; a budget applies per
+    /// shard (see the [module docs](self#sharding)).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_escalated`](Self::run_escalated) returns;
+    /// [`NetanError::EmptyLot`] for an empty range.
+    pub fn run_escalated_range<D, F>(
+        &self,
+        factory: F,
+        seed_range: Range<u64>,
+        plan: &LotPlan,
+        schedule: &EscalationSchedule,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        let seeds: Vec<u64> = seed_range.clone().collect();
+        let report = self.run_escalated_seeds(factory, &seeds, plan, schedule)?;
+        Ok(report.with_shard(ShardSpan::complete(seed_range)))
+    }
+
+    fn run_escalated_seeds<D, F>(
+        &self,
+        factory: F,
+        seeds: &[u64],
+        plan: &LotPlan,
+        schedule: &EscalationSchedule,
+    ) -> Result<LotReport, NetanError>
+    where
+        D: Dut,
+        F: Fn(u64) -> D + Sync,
+    {
+        if plan.refinement().is_some() {
+            return Err(NetanError::AdaptivePlanUnsupported);
+        }
         Self::validate_lot(seeds, plan)?;
         let stage_cost: Vec<Seconds> = (0..schedule.stages().len())
             .map(|s| schedule.device_stage_time(s, plan.grid()))
@@ -650,6 +1045,7 @@ impl LotEngine {
             tested: devices.len(),
             counts: VerdictCounts::tally(&devices),
             time: screen_time,
+            device_time: Some(stage_cost[0]),
         }];
         let mut budget_exhausted = false;
 
@@ -699,6 +1095,7 @@ impl LotEngine {
                 tested: retest.len(),
                 counts: VerdictCounts::tally(&devices),
                 time: stage_time,
+                device_time: Some(stage_cost[s]),
             });
         }
 
@@ -958,19 +1355,180 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fixed-grid plan")]
     fn adaptive_plan_rejected_for_escalation() {
+        // Regression: this used to be a documented panic; it is now a
+        // typed error, rejected before any simulation.
         let plan = LotPlan::adaptive(
             &[Hertz(300.0)],
             GainMask::paper_lowpass(),
             RefinementPolicy::new(0.5),
         );
-        let _ = LotEngine::serial().run_escalated(
-            paper_factory(0.0),
-            &[0],
-            &plan,
-            &EscalationSchedule::paper_default(),
+        let err = LotEngine::serial()
+            .run_escalated(
+                paper_factory(0.0),
+                &[0],
+                &plan,
+                &EscalationSchedule::paper_default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetanError::AdaptivePlanUnsupported);
+        // The range entry point rejects identically.
+        let err = LotEngine::serial()
+            .run_escalated_range(
+                paper_factory(0.0),
+                0..1,
+                &plan,
+                &EscalationSchedule::paper_default(),
+            )
+            .unwrap_err();
+        assert_eq!(err, NetanError::AdaptivePlanUnsupported);
+    }
+
+    #[test]
+    fn shard_span_helpers_and_slice_detection() {
+        let span = ShardSpan::complete(3..7);
+        assert_eq!((span.seed_start, span.seed_end), (3, 7));
+        assert!(span.complete);
+        assert_eq!(span.len(), 4);
+        assert!(!span.is_empty());
+        assert!(ShardSpan::complete(5..5).is_empty());
+
+        assert_eq!(
+            LotEngine::slice_span(&[2, 3, 4]),
+            Some(ShardSpan::complete(2..5))
         );
+        assert_eq!(LotEngine::slice_span(&[7]), Some(ShardSpan::complete(7..8)));
+        // Gaps, reorderings and duplicates carry no range provenance.
+        assert_eq!(LotEngine::slice_span(&[2, 4]), None);
+        assert_eq!(LotEngine::slice_span(&[3, 2]), None);
+        assert_eq!(LotEngine::slice_span(&[2, 2]), None);
+        assert_eq!(LotEngine::slice_span(&[]), None);
+        // The one range whose exclusive end does not exist.
+        assert_eq!(LotEngine::slice_span(&[u64::MAX]), None);
+    }
+
+    #[test]
+    fn run_attaches_span_only_to_contiguous_seed_lists() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let contiguous = LotEngine::serial()
+            .run(paper_factory(0.02), &[4, 5, 6], &plan, quick_config())
+            .unwrap();
+        assert_eq!(contiguous.shard(), Some(ShardSpan::complete(4..7)));
+        let gapped = LotEngine::serial()
+            .run(paper_factory(0.02), &[4, 6], &plan, quick_config())
+            .unwrap();
+        assert_eq!(gapped.shard(), None);
+    }
+
+    #[test]
+    fn run_range_is_run_over_the_collected_seeds() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let factory = paper_factory(0.05);
+        let by_slice = LotEngine::serial()
+            .run(&factory, &[1, 2, 3], &plan, quick_config())
+            .unwrap();
+        let by_range = LotEngine::serial()
+            .run_range(&factory, 1..4, &plan, quick_config())
+            .unwrap();
+        assert_eq!(by_slice, by_range);
+        assert_eq!(
+            LotEngine::serial()
+                .run_range(&factory, 5..5, &plan, quick_config())
+                .unwrap_err(),
+            NetanError::EmptyLot
+        );
+    }
+
+    #[test]
+    fn verdict_counts_merge_adds_fieldwise() {
+        let a = VerdictCounts {
+            pass: 2,
+            fail: 1,
+            ambiguous: 3,
+        };
+        let b = VerdictCounts {
+            pass: 1,
+            fail: 0,
+            ambiguous: 2,
+        };
+        let ab = a.merge(b);
+        assert_eq!((ab.pass, ab.fail, ab.ambiguous), (3, 1, 5));
+        assert_eq!(a.merge(VerdictCounts::default()), a);
+        assert_eq!(VerdictCounts::default().merge(a), a);
+    }
+
+    #[test]
+    fn merge_empty_is_a_two_sided_identity() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let report = LotEngine::serial()
+            .run_range(paper_factory(0.05), 0..3, &plan, quick_config())
+            .unwrap();
+        assert_eq!(LotReport::empty(&plan).merge(report.clone()), report);
+        assert_eq!(report.clone().merge(LotReport::empty(&plan)), report);
+        assert_eq!(
+            LotReport::empty(&plan).merge(LotReport::empty(&plan)),
+            LotReport::empty(&plan)
+        );
+    }
+
+    #[test]
+    fn merging_adjacent_shards_equals_the_monolithic_run() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let factory = paper_factory(0.05);
+        let engine = LotEngine::serial();
+        let whole = engine
+            .run_range(&factory, 0..6, &plan, quick_config())
+            .unwrap();
+        let a = engine
+            .run_range(&factory, 0..2, &plan, quick_config())
+            .unwrap();
+        let b = engine
+            .run_range(&factory, 2..4, &plan, quick_config())
+            .unwrap();
+        let c = engine
+            .run_range(&factory, 4..6, &plan, quick_config())
+            .unwrap();
+        let merged = a.clone().merge(b.clone()).merge(c.clone());
+        assert_eq!(merged, whole);
+        // Associativity: the other grouping lands on the same bits.
+        assert_eq!(a.merge(b.merge(c)), whole);
+        assert_eq!(whole.shard(), Some(ShardSpan::complete(0..6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacent")]
+    fn merging_non_adjacent_shards_panics() {
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let factory = paper_factory(0.05);
+        let a = LotEngine::serial()
+            .run_range(&factory, 0..2, &plan, quick_config())
+            .unwrap();
+        let c = LotEngine::serial()
+            .run_range(&factory, 4..6, &plan, quick_config())
+            .unwrap();
+        let _ = a.merge(c);
+    }
+
+    #[test]
+    fn stage_summary_merge_continues_the_time_fold() {
+        let c = Seconds(0.125);
+        let mk = |tested: usize| StageSummary {
+            stage: 1,
+            periods: 100,
+            tested,
+            counts: VerdictCounts {
+                pass: tested,
+                fail: 0,
+                ambiguous: 0,
+            },
+            time: (0..tested).fold(Seconds(0.0), |acc, _| acc + c),
+            device_time: Some(c),
+        };
+        let merged = mk(3).merge(mk(2));
+        assert_eq!(merged.tested, 5);
+        assert_eq!(merged.time, mk(5).time);
+        assert_eq!(merged.device_time, Some(c));
+        assert_eq!(merged.counts.pass, 5);
     }
 
     #[test]

@@ -53,6 +53,25 @@ pub fn measurement_time(periods: u32, f_wave: Hertz) -> Seconds {
     Seconds(2.0 * samples as f64 / (f_wave.value() * n))
 }
 
+/// Simulated test time of one chopped acquisition per frequency of
+/// `grid`, all at `periods` evaluation periods: the left fold of
+/// [`measurement_time`] in grid order, starting from zero.
+///
+/// The fold order is normative, not incidental: per-device times, stage
+/// summaries and escalation budget arithmetic are all built from this
+/// exact accumulation, so every consumer agrees with every other to the
+/// last bit — which is what lets shard merges reproduce a monolithic
+/// run's accounting byte for byte
+/// ([`crate::lot::LotReport::merge`]).
+///
+/// # Panics
+///
+/// Panics if any grid frequency is not strictly positive.
+pub fn grid_time(periods: u32, grid: &[Hertz]) -> Seconds {
+    grid.iter()
+        .fold(Seconds(0.0), |acc, &f| acc + measurement_time(periods, f))
+}
+
 /// Plans the evaluation length for measuring an expected amplitude
 /// `expected_volts` to within ±`tolerance_db` dB with guaranteed bounds,
 /// at stimulus frequency `f_wave` and DAC reference `vref`.
@@ -151,6 +170,16 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn measurement_time_rejects_bad_frequency() {
         let _ = measurement_time(50, Hertz(0.0));
+    }
+
+    #[test]
+    fn grid_time_is_the_left_fold_of_measurement_time() {
+        let grid = [Hertz(200.0), Hertz(500.0), Hertz(1000.0)];
+        let folded = grid
+            .iter()
+            .fold(Seconds(0.0), |acc, &f| acc + measurement_time(80, f));
+        assert_eq!(grid_time(80, &grid), folded);
+        assert_eq!(grid_time(80, &[]), Seconds(0.0));
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! Text, CSV and JSON rendering of analyzer results.
+//! Text, CSV and JSON rendering of analyzer results — and, for lot
+//! documents, parsing back ([`parse_lot_json`]).
 //!
 //! JSON documents are hand-rendered (the workspace builds fully offline,
 //! so there is no serde) and self-describing via a `"schema"` field:
 //! `netan.bode.v2` for [`bode_json`] (v2 added the per-point `"round"`
-//! refinement provenance) and `netan.lot.v2` for [`lot_json`] (v2 added
+//! refinement provenance) and `netan.lot.v3` for [`lot_json`] (v2 added
 //! the escalation budget ledger, per-stage summaries and per-device
-//! stage provenance); v1 documents of both families remain readable by
-//! the `plot_report` consumer. Numbers use Rust's shortest round-trip
-//! `f64` formatting; non-finite values render as `null`.
+//! stage provenance; v3 added the [`ShardSpan`] provenance and per-stage
+//! `device_time_s` that make shard merges and checkpoint resume exact);
+//! v1/v2 documents of both families remain readable, both by the
+//! `plot_report` consumer and by [`parse_lot_json`]. Numbers use Rust's
+//! shortest round-trip `f64` formatting; non-finite values render as
+//! `null`. Together those two facts make serialization lossless for
+//! every serialized field: re-rendering a parsed v3 document reproduces
+//! it byte for byte, which is what the
+//! [`checkpoint`](crate::checkpoint) driver's resume-equality guarantee
+//! rests on.
 
 use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
-use crate::lot::LotReport;
-use crate::spec::SpecVerdict;
-use crate::sweep::BodePlot;
+use crate::lot::{DeviceReport, LotReport, ShardSpan, StageSummary, VerdictCounts};
+use crate::spec::{GainMask, MaskPoint, SpecVerdict};
+use crate::sweep::{BodePlot, LowpassFit};
+use mixsig::units::{Hertz, Seconds};
 use sdeval::Bounded;
 use std::fmt::Write as _;
 
@@ -88,7 +97,8 @@ fn verdict_str(v: SpecVerdict) -> &'static str {
 /// device (with its escalation stage, final `M` and cumulative simulated
 /// test time), the verdict histogram, the yield enclosure, and — when the
 /// run carried stage accounting — one summary line per executed stage
-/// plus the budget ledger.
+/// plus the budget ledger. A report with shard provenance closes with a
+/// `shard: seeds [start, end) — complete|incomplete` footer line.
 pub fn lot_table(report: &LotReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -169,18 +179,42 @@ pub fn lot_table(report: &LotReport) -> String {
             }
         }
     }
+    if let Some(s) = report.shard() {
+        let _ = writeln!(
+            out,
+            "shard: seeds [{}, {}) — {}",
+            s.seed_start,
+            s.seed_end,
+            if s.complete { "complete" } else { "incomplete" }
+        );
+    }
     out
 }
 
+/// The seed-range cell of the CSV shard column: `start..end` for a
+/// complete span, `~start..end` for a halted (incomplete) one, empty
+/// when the report carries no provenance — so rows keep saying which
+/// shard produced them even after shard CSVs are concatenated.
+fn shard_cell(shard: Option<ShardSpan>) -> String {
+    match shard {
+        Some(s) if s.complete => format!("{}..{}", s.seed_start, s.seed_end),
+        Some(s) => format!("~{}..{}", s.seed_start, s.seed_end),
+        None => String::new(),
+    }
+}
+
 /// Renders a lot report as CSV with a header row: one row per device,
-/// ten columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q, cutoff_hz,
-/// worst_gain_err_db, stage, periods, test_time_s` — the trailing three
-/// are the escalation provenance, stage 0 for plain runs); missing
+/// eleven columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q,
+/// cutoff_hz, worst_gain_err_db, stage, periods, test_time_s, shard` —
+/// `stage`/`periods`/`test_time_s` are the escalation provenance, stage
+/// 0 for plain runs; `shard` is the report's seed range, `start..end`,
+/// prefixed `~` when incomplete and empty when unknown); missing
 /// fit/cutoff fields render empty.
 pub fn lot_csv(report: &LotReport) -> String {
     let mut out = String::from(
-        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s\n",
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard\n",
     );
+    let shard = shard_cell(report.shard());
     for d in report.devices() {
         let (gain, f0, q) = match d.fit {
             Some(fit) => (
@@ -203,7 +237,7 @@ pub fn lot_csv(report: &LotReport) -> String {
             .unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             d.seed,
             verdict_str(d.verdict),
             gain,
@@ -214,6 +248,7 @@ pub fn lot_csv(report: &LotReport) -> String {
             d.stage,
             d.periods,
             d.test_time.value(),
+            shard,
         );
     }
     out
@@ -283,14 +318,28 @@ fn json_counts(out: &mut String, c: &crate::lot::VerdictCounts) {
     );
 }
 
-/// Renders a lot report as a JSON document (schema `netan.lot.v2`): the
-/// mask, the verdict histogram, the yield enclosure (`null` for an empty
-/// lot), the escalation budget ledger and per-stage summaries, and
+/// Renders a lot report as a JSON document (schema `netan.lot.v3`): the
+/// shard provenance (`null` when unknown), the mask, the verdict
+/// histogram, the yield enclosure (`null` for an empty lot), the
+/// escalation budget ledger and per-stage summaries (v3 adds each
+/// stage's uniform `device_time_s`, `null` for adaptive plans), and
 /// per-device verdict + stage provenance + f0/Q fit + full point set.
-/// v1 documents (no `budget`/`stages`, no per-device provenance) remain
-/// readable by the `plot_report` consumer.
+/// v1 documents (no `budget`/`stages`, no per-device provenance) and v2
+/// documents (no `shard`/`device_time_s`) remain readable, by the
+/// `plot_report` consumer and by [`parse_lot_json`].
 pub fn lot_json(report: &LotReport) -> String {
-    let mut out = String::from("{\"schema\":\"netan.lot.v2\",\"mask\":[");
+    let mut out = String::from("{\"schema\":\"netan.lot.v3\",\"shard\":");
+    match report.shard() {
+        Some(s) => {
+            let _ = write!(
+                out,
+                "{{\"seed_start\":{},\"seed_end\":{},\"complete\":{}}}",
+                s.seed_start, s.seed_end, s.complete
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"mask\":[");
     for (i, m) in report.mask().points().iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -336,6 +385,11 @@ pub fn lot_json(report: &LotReport) -> String {
             s.stage, s.periods, s.tested
         );
         json_f64(&mut out, s.time.value());
+        out.push_str(",\"device_time_s\":");
+        match s.device_time {
+            Some(c) => json_f64(&mut out, c.value()),
+            None => out.push_str("null"),
+        }
         out.push_str(",\"counts\":");
         json_counts(&mut out, &s.counts);
         out.push('}');
@@ -379,6 +433,450 @@ pub fn lot_json(report: &LotReport) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Error from [`parse_lot_json`]: what went wrong and the byte offset
+/// in the document where the parser detected it (0 for document-level
+/// interpretation failures, e.g. a missing field).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportParseError {
+    /// Byte offset into the document text.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl ReportParseError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn doc(message: impl Into<String>) -> Self {
+        Self::at(0, message)
+    }
+}
+
+impl std::fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lot document invalid at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ReportParseError {}
+
+/// A parsed JSON value. Numbers keep their raw token so integers larger
+/// than an exact `f64` (e.g. a full-range `u64` seed) survive, and so
+/// `f64` fields round-trip through `str::parse` — the exact inverse of
+/// the shortest-round-trip formatting the sinks use.
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn fail<T>(&self, message: impl Into<String>) -> Result<T, ReportParseError> {
+        Err(ReportParseError::at(self.pos, message))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ReportParseError> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ReportParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') if self.eat("null") => Ok(Json::Null),
+            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.fail("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ReportParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
+                        Some(b'n') => '\n',
+                        Some(b'r') => '\r',
+                        Some(b't') => '\t',
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    self.pos += 4;
+                                    c
+                                }
+                                None => return self.fail("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.fail("bad escape"),
+                    };
+                    s.push(esc);
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid — copy it through wholesale.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input was a &str, suffix at a char boundary");
+                    let c = rest.chars().next().expect("non-empty by match arm");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ReportParseError> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if token.parse::<f64>().is_err() {
+            return Err(ReportParseError::at(start, format!("bad number {token:?}")));
+        }
+        Ok(Json::Num(token.to_string()))
+    }
+
+    fn array(&mut self) -> Result<Json, ReportParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat("]") {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat("]") {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ReportParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat("}") {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            if self.eat("}") {
+                return Ok(Json::Obj(fields));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+impl Json {
+    /// Looks up a required object field.
+    fn field(&self, key: &str) -> Result<&Json, ReportParseError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| ReportParseError::doc(format!("missing field {key:?}"))),
+            _ => Err(ReportParseError::doc(format!(
+                "expected an object with field {key:?}"
+            ))),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], ReportParseError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(ReportParseError::doc("expected an array")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, ReportParseError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(ReportParseError::doc("expected a string")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, ReportParseError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(ReportParseError::doc("expected a boolean")),
+        }
+    }
+
+    /// A number as `f64`; `null` reads back as the NaN it was rendered
+    /// from (the sinks emit `null` for every non-finite value).
+    fn as_f64(&self) -> Result<f64, ReportParseError> {
+        match self {
+            Json::Null => Ok(f64::NAN),
+            Json::Num(token) => token
+                .parse()
+                .map_err(|_| ReportParseError::doc(format!("bad number {token:?}"))),
+            _ => Err(ReportParseError::doc("expected a number or null")),
+        }
+    }
+
+    fn as_int<T: std::str::FromStr>(&self, what: &str) -> Result<T, ReportParseError> {
+        match self {
+            Json::Num(token) => token
+                .parse()
+                .map_err(|_| ReportParseError::doc(format!("bad {what}: {token}"))),
+            _ => Err(ReportParseError::doc(format!("expected an integer {what}"))),
+        }
+    }
+}
+
+fn parse_bounded(j: &Json) -> Result<Bounded, ReportParseError> {
+    // Constructed as a literal, not via `Bounded::new`: a `null` bound
+    // reads back as NaN, which the ordering assert would reject.
+    Ok(Bounded {
+        lo: j.field("lo")?.as_f64()?,
+        est: j.field("est")?.as_f64()?,
+        hi: j.field("hi")?.as_f64()?,
+    })
+}
+
+fn parse_counts(j: &Json) -> Result<VerdictCounts, ReportParseError> {
+    Ok(VerdictCounts {
+        pass: j.field("pass")?.as_int("count")?,
+        fail: j.field("fail")?.as_int("count")?,
+        ambiguous: j.field("ambiguous")?.as_int("count")?,
+    })
+}
+
+fn parse_device(d: &Json, version: u32) -> Result<DeviceReport, ReportParseError> {
+    let verdict = match d.field("verdict")?.as_str()? {
+        "pass" => SpecVerdict::Pass,
+        "fail" => SpecVerdict::Fail,
+        "ambiguous" => SpecVerdict::Ambiguous,
+        other => {
+            return Err(ReportParseError::doc(format!("unknown verdict {other:?}")));
+        }
+    };
+    let fit = match d.field("fit")? {
+        Json::Null => None,
+        f => Some(LowpassFit {
+            gain: f.field("gain")?.as_f64()?,
+            f0: Hertz(f.field("f0_hz")?.as_f64()?),
+            q: f.field("q")?.as_f64()?,
+        }),
+    };
+    let mut points = Vec::new();
+    for p in d.field("points")?.as_arr()? {
+        let gain_db = parse_bounded(p.field("gain_db")?)?;
+        // Lot documents serialize the dB enclosure only; the linear
+        // gain is rebuilt from it. Derived JSON fields (cutoff, worst
+        // error) use the dB side, so re-rendering stays byte-exact; the
+        // f0/Q fit — which does use linear gains — is parsed above, not
+        // recomputed.
+        let db_to_lin = |db: f64| 10f64.powf(db / 20.0);
+        points.push(BodePoint {
+            frequency: Hertz(p.field("freq_hz")?.as_f64()?),
+            gain: Bounded {
+                lo: db_to_lin(gain_db.lo),
+                est: db_to_lin(gain_db.est),
+                hi: db_to_lin(gain_db.hi),
+            },
+            gain_db,
+            phase_deg: parse_bounded(p.field("phase_deg")?)?,
+            ideal_gain_db: p.field("ideal_gain_db")?.as_f64()?,
+            ideal_phase_deg: p.field("ideal_phase_deg")?.as_f64()?,
+            round: 0,
+        });
+    }
+    // v1 devices carry no escalation provenance: stage 0, M unknown.
+    let (stage, periods, test_time) = if version >= 2 {
+        (
+            d.field("stage")?.as_int("stage")?,
+            d.field("periods")?.as_int("periods")?,
+            Seconds(d.field("test_time_s")?.as_f64()?),
+        )
+    } else {
+        (0, 0, Seconds(0.0))
+    };
+    Ok(DeviceReport {
+        seed: d.field("seed")?.as_int("seed")?,
+        plot: BodePlot::new(points),
+        verdict,
+        fit,
+        stage,
+        periods,
+        test_time,
+    })
+}
+
+/// Parses a `netan.lot.v1`/`v2`/`v3` JSON document — the exact inverse
+/// of [`lot_json`] for every serialized field.
+///
+/// Derived fields (`counts`, `yield`, `spent_s`, `cutoff_hz`) are
+/// recomputed, not read; combined with shortest-round-trip number
+/// formatting, re-rendering a parsed v3 document with [`lot_json`]
+/// reproduces it **byte for byte**. Fields a schema version predates
+/// load as their neutral values (v1: stage-0 provenance with `M = 0`
+/// and zero test time, no budget/stages; v2: no shard span, no
+/// per-stage `device_time_s`). The per-point linear `gain` enclosure is
+/// not serialized and is rebuilt from the dB enclosure; the f0/Q `fit`
+/// is parsed verbatim, never refitted.
+///
+/// # Errors
+///
+/// [`ReportParseError`] on malformed JSON, an unsupported schema, or a
+/// missing/mistyped field, with the byte offset where the parser
+/// stopped.
+pub fn parse_lot_json(text: &str) -> Result<LotReport, ReportParseError> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.fail("trailing content after the document");
+    }
+
+    let schema = doc.field("schema")?.as_str()?;
+    let version = match schema {
+        "netan.lot.v1" => 1,
+        "netan.lot.v2" => 2,
+        "netan.lot.v3" => 3,
+        other => {
+            return Err(ReportParseError::doc(format!(
+                "unsupported schema {other:?} (expected netan.lot.v1/v2/v3)"
+            )));
+        }
+    };
+
+    let mut mask = GainMask::new();
+    for m in doc.field("mask")?.as_arr()? {
+        mask = mask.with_point(MaskPoint {
+            frequency: Hertz(m.field("freq_hz")?.as_f64()?),
+            min_db: m.field("min_db")?.as_f64()?,
+            max_db: m.field("max_db")?.as_f64()?,
+        });
+    }
+
+    let mut devices = Vec::new();
+    for d in doc.field("devices")?.as_arr()? {
+        devices.push(parse_device(d, version)?);
+    }
+
+    let mut report = LotReport::new(mask, devices);
+    if version >= 2 {
+        let mut stages = Vec::new();
+        for s in doc.field("stages")?.as_arr()? {
+            let device_time = if version >= 3 {
+                match s.field("device_time_s")? {
+                    Json::Null => None,
+                    c => Some(Seconds(c.as_f64()?)),
+                }
+            } else {
+                None
+            };
+            stages.push(StageSummary {
+                stage: s.field("stage")?.as_int("stage")?,
+                periods: s.field("periods")?.as_int("periods")?,
+                tested: s.field("tested")?.as_int("tested")?,
+                counts: parse_counts(s.field("counts")?)?,
+                time: Seconds(s.field("time_s")?.as_f64()?),
+                device_time,
+            });
+        }
+        let budget = doc.field("budget")?;
+        let limit = match budget.field("limit_s")? {
+            Json::Null => None,
+            b => Some(Seconds(b.as_f64()?)),
+        };
+        report = report
+            .with_stages(stages)
+            .with_budget(limit, budget.field("exhausted")?.as_bool()?);
+    }
+    if version >= 3 {
+        if let shard @ Json::Obj(_) = doc.field("shard")? {
+            report = report.with_shard(ShardSpan {
+                seed_start: shard.field("seed_start")?.as_int("seed")?,
+                seed_end: shard.field("seed_end")?.as_int("seed")?,
+                complete: shard.field("complete")?.as_bool()?,
+            });
+        }
+    }
+    Ok(report)
 }
 
 /// Renders a distortion report (the read-offs of paper Fig. 10c).
@@ -491,6 +989,7 @@ mod tests {
                     ambiguous: 1,
                 },
                 time: Seconds(0.75),
+                device_time: Some(Seconds(0.25)),
             },
             StageSummary {
                 stage: 1,
@@ -502,6 +1001,7 @@ mod tests {
                     ambiguous: 1,
                 },
                 time: Seconds(0.25),
+                device_time: None,
             },
         ])
         .with_budget(Some(Seconds(2.0)), true)
@@ -540,17 +1040,54 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s"
+            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard"
         );
         for row in &lines[1..] {
-            assert_eq!(row.split(',').count(), 10, "row {row}");
+            assert_eq!(row.split(',').count(), 11, "row {row}");
         }
         // The fit-less device renders empty fit columns and carries its
-        // stage-0 provenance in the trailing columns.
+        // stage-0 provenance in the trailing columns; no shard
+        // provenance renders an empty trailing cell.
         assert!(lines[3].starts_with("2,fail,,,"));
-        assert!(lines[3].ends_with(",0,50,0.25"));
+        assert!(lines[3].ends_with(",0,50,0.25,"));
         // The escalated device reports stage 1 and its cumulative time.
-        assert!(lines[2].ends_with(",1,200,0.5"));
+        assert!(lines[2].ends_with(",1,200,0.5,"));
+    }
+
+    #[test]
+    fn lot_csv_shard_column_carries_the_seed_range() {
+        use crate::lot::ShardSpan;
+        let report = synthetic_lot().with_shard(ShardSpan::complete(0..3));
+        let c = lot_csv(&report);
+        for row in c.lines().skip(1) {
+            assert!(row.ends_with(",0..3"), "row {row}");
+        }
+        let halted = synthetic_lot().with_shard(ShardSpan {
+            seed_start: 0,
+            seed_end: 8,
+            complete: false,
+        });
+        for row in lot_csv(&halted).lines().skip(1) {
+            assert!(row.ends_with(",~0..8"), "row {row}");
+        }
+    }
+
+    #[test]
+    fn lot_table_shard_footer_lines() {
+        use crate::lot::ShardSpan;
+        let plain = lot_table(&synthetic_lot());
+        assert!(!plain.contains("shard:"));
+        let t = lot_table(&synthetic_lot().with_shard(ShardSpan::complete(0..3)));
+        assert!(t.contains("shard: seeds [0, 3) — complete"));
+        // Header + 3 devices + histogram + yield + 2 stages + budget +
+        // shard footer.
+        assert_eq!(t.lines().count(), 10);
+        let halted = lot_table(&synthetic_lot().with_shard(ShardSpan {
+            seed_start: 0,
+            seed_end: 8,
+            complete: false,
+        }));
+        assert!(halted.contains("shard: seeds [0, 8) — incomplete"));
     }
 
     #[test]
@@ -567,22 +1104,27 @@ mod tests {
     fn lot_json_points_carry_no_round_field() {
         // Lot points still omit the per-point adaptive provenance.
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v2\""));
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v3\""));
         assert!(!j.contains("\"round\":"));
     }
 
     #[test]
     fn lot_json_carries_mask_counts_stages_and_devices() {
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v2\""));
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v3\",\"shard\":null,\"mask\":["));
         assert!(j.contains("\"counts\":{\"pass\":1,\"fail\":1,\"ambiguous\":1}"));
         assert!(j.contains("\"verdict\":\"ambiguous\""));
         assert!(j.contains("\"fit\":null"));
         assert!(j.contains("\"min_db\":-4.5"));
         // v2: budget ledger, per-stage summaries, per-device provenance.
         assert!(j.contains("\"budget\":{\"limit_s\":2,\"spent_s\":1,\"exhausted\":true}"));
-        assert!(j.contains("\"stages\":[{\"stage\":0,\"periods\":50,\"tested\":3,\"time_s\":0.75"));
-        assert!(j.contains("{\"stage\":1,\"periods\":200,\"tested\":1,\"time_s\":0.25"));
+        // v3: each stage's uniform per-device cost (null when unknown).
+        assert!(j.contains(
+            "\"stages\":[{\"stage\":0,\"periods\":50,\"tested\":3,\"time_s\":0.75,\"device_time_s\":0.25"
+        ));
+        assert!(j.contains(
+            "{\"stage\":1,\"periods\":200,\"tested\":1,\"time_s\":0.25,\"device_time_s\":null"
+        ));
         assert!(j.contains(
             "\"seed\":1,\"verdict\":\"ambiguous\",\"stage\":1,\"periods\":200,\"test_time_s\":0.5"
         ));
@@ -590,6 +1132,101 @@ mod tests {
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn lot_json_shard_provenance_round_trips() {
+        use crate::lot::ShardSpan;
+        let report = synthetic_lot().with_shard(ShardSpan {
+            seed_start: 4,
+            seed_end: 9,
+            complete: false,
+        });
+        let j = lot_json(&report);
+        assert!(j.contains("\"shard\":{\"seed_start\":4,\"seed_end\":9,\"complete\":false}"));
+        let parsed = parse_lot_json(&j).expect("own output parses");
+        assert_eq!(parsed.shard(), report.shard());
+        assert_eq!(lot_json(&parsed), j);
+    }
+
+    #[test]
+    fn parse_lot_json_reproduces_the_document_byte_for_byte() {
+        let report = synthetic_lot();
+        let j = lot_json(&report);
+        let parsed = parse_lot_json(&j).expect("own output parses");
+        assert_eq!(lot_json(&parsed), j);
+        // Everything serialized is reconstructed exactly.
+        assert_eq!(parsed.stages(), report.stages());
+        assert_eq!(parsed.budget(), report.budget());
+        assert_eq!(parsed.budget_exhausted(), report.budget_exhausted());
+        assert_eq!(parsed.mask(), report.mask());
+        assert_eq!(parsed.len(), report.len());
+        for (p, d) in parsed.devices().iter().zip(report.devices()) {
+            assert_eq!(p.seed, d.seed);
+            assert_eq!(p.verdict, d.verdict);
+            assert_eq!(p.fit, d.fit);
+            assert_eq!(
+                (p.stage, p.periods, p.test_time),
+                (d.stage, d.periods, d.test_time)
+            );
+            for (pp, dp) in p.plot.points().iter().zip(d.plot.points()) {
+                assert_eq!(pp.gain_db, dp.gain_db);
+                assert_eq!(pp.phase_deg, dp.phase_deg);
+                assert_eq!(pp.frequency, dp.frequency);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_lot_json_reads_v1_and_v2_documents() {
+        // A v1 document: no budget/stages/shard, no device provenance.
+        let v1 = r#"{"schema":"netan.lot.v1","mask":[{"freq_hz":1000,"min_db":-4.5,"max_db":-1.5}],"counts":{"pass":1,"fail":0,"ambiguous":0},"yield":{"lo":1,"hi":1},"devices":[{"seed":3,"verdict":"pass","fit":null,"cutoff_hz":null,"points":[{"freq_hz":1000,"gain_db":{"lo":-3.1,"est":-3.01,"hi":-2.9},"phase_deg":{"lo":-91,"est":-90,"hi":-89},"ideal_gain_db":-3.01,"ideal_phase_deg":-90}]}]}"#;
+        let r = parse_lot_json(v1).expect("v1 parses");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.devices()[0].seed, 3);
+        assert_eq!(r.devices()[0].verdict, SpecVerdict::Pass);
+        // v1 carries no provenance: neutral values.
+        assert_eq!(r.devices()[0].periods, 0);
+        assert!(r.stages().is_empty());
+        assert_eq!(r.shard(), None);
+
+        // A v2 document gains budget + stages + device provenance.
+        let v2 = r#"{"schema":"netan.lot.v2","mask":[],"counts":{"pass":0,"fail":0,"ambiguous":1},"yield":{"lo":0,"hi":1},"budget":{"limit_s":null,"spent_s":0.5,"exhausted":false},"stages":[{"stage":0,"periods":50,"tested":1,"time_s":0.5,"counts":{"pass":0,"fail":0,"ambiguous":1}}],"devices":[{"seed":0,"verdict":"ambiguous","stage":0,"periods":50,"test_time_s":0.5,"fit":null,"cutoff_hz":null,"points":[]}]}"#;
+        let r = parse_lot_json(v2).expect("v2 parses");
+        assert_eq!(r.stages().len(), 1);
+        assert_eq!(r.stages()[0].periods, 50);
+        assert_eq!(r.stages()[0].device_time, None);
+        assert_eq!(r.devices()[0].periods, 50);
+        assert_eq!(r.shard(), None);
+    }
+
+    #[test]
+    fn parse_lot_json_rejects_malformed_documents() {
+        let bad = [
+            "",
+            "{",
+            "nope",
+            r#"{"schema":"netan.bode.v2"}"#,
+            r#"{"schema":"netan.lot.v3"}"#,
+            r#"{"schema":"netan.lot.v3","shard":null,"mask":[],"devices":[]} trailing"#,
+            r#"{"schema":"netan.lot.v1","mask":[],"devices":[{"seed":0,"verdict":"maybe","fit":null,"points":[]}]}"#,
+        ];
+        for doc in bad {
+            assert!(parse_lot_json(doc).is_err(), "accepted: {doc:?}");
+        }
+        let err = parse_lot_json(r#"{"schema":"netan.lot.v9"}"#).unwrap_err();
+        assert!(err.to_string().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn parse_lot_json_null_reads_back_as_nan_and_rerenders_null() {
+        // A NaN phase bound rendered as null must survive a full
+        // parse → re-render cycle. The synthetic lot's points are all
+        // finite, so the null is patched in JSON space.
+        let j = lot_json(&synthetic_lot()).replace("\"est\":-90,", "\"est\":null,");
+        let parsed = parse_lot_json(&j).expect("null bound parses");
+        assert!(parsed.devices()[0].plot.points()[0].phase_deg.est.is_nan());
+        assert_eq!(lot_json(&parsed), j);
     }
 
     #[test]

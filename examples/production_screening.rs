@@ -12,12 +12,60 @@
 //! to one per stage.
 //!
 //! Run with: `cargo run --release --example production_screening`
+//!
+//! ## Checkpointed mode
+//!
+//! With `--checkpoint <dir>` the lot is driven through
+//! [`netan::LotCheckpoint`] in 5-device shards, persisting each shard as
+//! a `netan.lot.v3` document under `<dir>` and resuming from whatever is
+//! already there. `--halt-after <k>` stops the drive after `k` freshly
+//! measured shards — simulate a tester power-cut, then rerun the same
+//! command to resume:
+//!
+//! ```sh
+//! cargo run --release --example production_screening -- \
+//!     --checkpoint target/ckpt --halt-after 2   # interrupted
+//! cargo run --release --example production_screening -- \
+//!     --checkpoint target/ckpt                  # resumes, completes
+//! ```
+//!
+//! Checkpointed runs use the schedule **without** its budget: a test-time
+//! budget gates devices by their global lot prefix, which a shard cannot
+//! see (see the sharding notes in `netan::lot`), and dropping it is what
+//! makes the resumed document byte-identical to the monolithic one — the
+//! example asserts exactly that on completion.
 
 use dut::ActiveRcFilter;
 use mixsig::units::Seconds;
-use netan::{lot_table, AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan};
+use netan::{
+    lot_json, lot_table, AnalyzerConfig, EscalationSchedule, GainMask, LotCheckpoint, LotEngine,
+    LotPlan,
+};
 
-fn main() -> Result<(), netan::NetanError> {
+const LOT_DEVICES: u64 = 20;
+const SHARD_DEVICES: u64 = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut checkpoint_dir: Option<std::path::PathBuf> = None;
+    let mut halt_after: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint" => {
+                checkpoint_dir = Some(args.next().expect("--checkpoint needs a directory").into());
+            }
+            "--halt-after" => {
+                halt_after = Some(
+                    args.next()
+                        .expect("--halt-after needs a shard count")
+                        .parse()
+                        .expect("--halt-after needs an integer"),
+                );
+            }
+            other => panic!("unknown flag {other:?} (expected --checkpoint / --halt-after)"),
+        }
+    }
+
     let plan = LotPlan::from_mask(GainMask::paper_lowpass());
     // 9 % parts: some devices genuinely violate the mask, and some sit
     // close enough to a limit that a fast pass cannot bin them.
@@ -26,7 +74,7 @@ fn main() -> Result<(), netan::NetanError> {
             .linearized()
             .fabricate(0.09, seed)
     };
-    let seeds: Vec<u64> = (0..20).collect();
+    let seeds: Vec<u64> = (0..LOT_DEVICES).collect();
 
     // M = 50 costs a quarter of the paper's Bode setting at 4× the
     // enclosure width; M = 800 costs 4× at a quarter of the width. The
@@ -36,6 +84,11 @@ fn main() -> Result<(), netan::NetanError> {
         .with_budget(Seconds(120.0));
 
     let engine = LotEngine::auto();
+
+    if let Some(dir) = checkpoint_dir {
+        return run_checkpointed(&engine, factory, &plan, &schedule, &dir, halt_after);
+    }
+
     println!(
         "screening {} devices across {} workers ({} stages, one calibration each)\n",
         seeds.len(),
@@ -57,6 +110,55 @@ fn main() -> Result<(), netan::NetanError> {
         all_deep / spent,
     );
 
-    println!("\nmachine-readable sinks: netan::lot_csv / netan::lot_json (schema netan.lot.v2)");
+    println!("\nmachine-readable sinks: netan::lot_csv / netan::lot_json (schema netan.lot.v3)");
+    Ok(())
+}
+
+fn run_checkpointed<D, F>(
+    engine: &LotEngine,
+    factory: F,
+    plan: &LotPlan,
+    schedule: &EscalationSchedule,
+    dir: &std::path::Path,
+    halt_after: Option<usize>,
+) -> Result<(), Box<dyn std::error::Error>>
+where
+    D: dut::Dut,
+    F: Fn(u64) -> D + Sync + Copy,
+{
+    // Budgets gate on the global lot prefix — unknowable per shard — so
+    // the checkpointed drive runs the same stages unbudgeted.
+    let schedule = schedule.clone().without_budget();
+    let mut ckpt = LotCheckpoint::new(dir, SHARD_DEVICES);
+    if let Some(k) = halt_after {
+        ckpt = ckpt.with_shard_limit(k);
+    }
+    println!(
+        "checkpointed screening of {LOT_DEVICES} devices in {SHARD_DEVICES}-device shards \
+         under {}\n",
+        dir.display()
+    );
+    let report = ckpt.run_escalated(engine, factory, 0..LOT_DEVICES, plan, &schedule)?;
+    let span = report.shard().expect("checkpointed runs carry a span");
+    if !span.complete {
+        println!(
+            "halted after {halt_after:?} fresh shards: {} of {LOT_DEVICES} devices measured; \
+             rerun without --halt-after to resume",
+            report.len(),
+        );
+        return Ok(());
+    }
+
+    print!("{}", lot_table(&report));
+
+    // Resume-equality guarantee: the document assembled from persisted
+    // shards is byte-identical to a monolithic uninterrupted run.
+    let monolithic = engine.run_escalated_range(factory, 0..LOT_DEVICES, plan, &schedule)?;
+    assert_eq!(
+        lot_json(&report),
+        lot_json(&monolithic),
+        "checkpointed document must match the monolithic run byte for byte"
+    );
+    println!("\nresumed document verified byte-identical to a monolithic run");
     Ok(())
 }

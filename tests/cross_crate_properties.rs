@@ -628,6 +628,164 @@ mod adaptive_properties {
     }
 }
 
+mod shard_properties {
+    use dut::ActiveRcFilter;
+    use netan::{
+        lot_json, AnalyzerConfig, EscalationSchedule, GainMask, LotCheckpoint, LotEngine, LotPlan,
+        LotReport,
+    };
+    use proptest::prelude::*;
+    use std::ops::Range;
+
+    fn plan() -> LotPlan {
+        LotPlan::from_mask(GainMask::paper_lowpass())
+    }
+
+    fn factory(sigma: f64) -> impl Fn(u64) -> ActiveRcFilter + Sync + Copy {
+        move |seed| {
+            ActiveRcFilter::paper_dut()
+                .linearized()
+                .fabricate(sigma, seed)
+        }
+    }
+
+    /// Fast per-shard settings: short warm-up keeps each acquisition
+    /// cheap enough for property cases that run whole lots repeatedly.
+    fn config(cmos: bool) -> AnalyzerConfig {
+        let base = if cmos {
+            AnalyzerConfig::cmos_035um(11)
+        } else {
+            AnalyzerConfig::ideal()
+        };
+        AnalyzerConfig {
+            warmup_periods: 10,
+            ..base.with_periods(20)
+        }
+    }
+
+    fn shard(lot: &Range<u64>, cmos: bool, sigma: f64, range: Range<u64>) -> LotReport {
+        debug_assert!(lot.start <= range.start && range.end <= lot.end);
+        LotEngine::serial()
+            .run_range(factory(sigma), range, &plan(), config(cmos))
+            .expect("shard run failed")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 4, // each case measures a whole lot several times over
+            ..ProptestConfig::default()
+        })]
+
+        /// `LotReport::merge` is associative over adjacent shards:
+        /// (A ⊕ B) ⊕ C and A ⊕ (B ⊕ C) are equal — as reports *and* as
+        /// serialized `netan.lot.v3` bytes.
+        #[test]
+        fn merge_is_associative(
+            seed_base in 0u64..100_000,
+            sigma in 0.0..0.10f64,
+            cut1 in 1u64..3,
+            cmos in any::<bool>(),
+        ) {
+            let lot = seed_base..seed_base + 5;
+            let cuts = [lot.start, lot.start + cut1, lot.start + 3, lot.end];
+            let [a, b, c] = [0, 1, 2].map(|i| shard(&lot, cmos, sigma, cuts[i]..cuts[i + 1]));
+            let left = a.clone().merge(b.clone()).merge(c.clone());
+            let right = a.merge(b.merge(c));
+            prop_assert_eq!(&left, &right);
+            prop_assert_eq!(lot_json(&left), lot_json(&right));
+        }
+
+        /// `LotReport::empty` is a two-sided identity for merge.
+        #[test]
+        fn empty_is_a_two_sided_identity(
+            seed_base in 0u64..100_000,
+            sigma in 0.0..0.10f64,
+        ) {
+            let lot = seed_base..seed_base + 3;
+            let r = shard(&lot, false, sigma, lot.clone());
+            let plan = plan();
+            prop_assert_eq!(&LotReport::empty(&plan).merge(r.clone()), &r);
+            prop_assert_eq!(&r.clone().merge(LotReport::empty(&plan)), &r);
+        }
+
+        /// Any adjacent partition of a plain lot merges back to the
+        /// monolithic run — byte-identical `netan.lot.v3` JSON — for the
+        /// ideal and the seeded-CMOS hardware profiles alike.
+        #[test]
+        fn shard_partition_merges_to_the_monolithic_plain_run(
+            seed_base in 0u64..100_000,
+            sigma in 0.0..0.10f64,
+            cut1 in 1u64..3,
+            cut2 in 3u64..6,
+            cmos in any::<bool>(),
+        ) {
+            let lot = seed_base..seed_base + 6;
+            let whole = shard(&lot, cmos, sigma, lot.clone());
+            let cuts = [lot.start, lot.start + cut1, lot.start + cut2, lot.end];
+            let merged = (0..3)
+                .map(|i| shard(&lot, cmos, sigma, cuts[i]..cuts[i + 1]))
+                .reduce(LotReport::merge)
+                .unwrap();
+            prop_assert_eq!(lot_json(&merged), lot_json(&whole));
+        }
+
+        /// The same partition property for *escalated* (unbudgeted)
+        /// schedules: stage summaries, carry-forward counts and spent
+        /// time all survive the merge bit for bit.
+        #[test]
+        fn shard_partition_merges_to_the_monolithic_escalated_run(
+            seed_base in 0u64..100_000,
+            sigma in 0.04..0.12f64,
+            cut in 1u64..5,
+            cmos in any::<bool>(),
+        ) {
+            let lot = seed_base..seed_base + 5;
+            let plan = plan();
+            let schedule = EscalationSchedule::from_periods(config(cmos), &[20, 60]);
+            let run = |range: Range<u64>| {
+                LotEngine::serial()
+                    .run_escalated_range(factory(sigma), range, &plan, &schedule)
+                    .expect("escalated shard failed")
+            };
+            let whole = run(lot.clone());
+            let merged = run(lot.start..lot.start + cut).merge(run(lot.start + cut..lot.end));
+            prop_assert_eq!(lot_json(&merged), lot_json(&whole));
+        }
+
+        /// Checkpoint/resume equals the uninterrupted run: a drive halted
+        /// after a random number of fresh shards and then resumed emits
+        /// the byte-identical final document.
+        #[test]
+        fn resumed_checkpoint_drive_equals_the_uninterrupted_run(
+            seed in 0u64..100_000,
+            sigma in 0.0..0.10f64,
+            halt_after in 0usize..3,
+        ) {
+            let dir = std::env::temp_dir()
+                .join(format!("netan-ckpt-{}-{seed}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let lot = seed..seed + 6;
+            let plan = plan();
+            let config = config(false);
+            let engine = LotEngine::serial();
+            let whole = engine
+                .run_range(factory(sigma), lot.clone(), &plan, config)
+                .unwrap();
+            let halted = LotCheckpoint::new(&dir, 2)
+                .with_shard_limit(halt_after)
+                .run(&engine, factory(sigma), lot.clone(), &plan, config)
+                .unwrap();
+            prop_assert!(!halted.shard().unwrap().complete);
+            prop_assert_eq!(halted.len() as u64, 2 * halt_after as u64);
+            let resumed = LotCheckpoint::new(&dir, 2)
+                .run(&engine, factory(sigma), lot, &plan, config)
+                .unwrap();
+            std::fs::remove_dir_all(&dir).ok();
+            prop_assert_eq!(lot_json(&resumed), lot_json(&whole));
+        }
+    }
+}
+
 mod mixsig_properties {
     use mixsig::Matrix;
     use proptest::prelude::*;

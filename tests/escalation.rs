@@ -192,6 +192,61 @@ fn lowest_index_device_error_wins_under_any_schedule() {
 }
 
 #[test]
+fn adaptive_plan_is_rejected_with_a_typed_error() {
+    // Regression: this used to be a documented panic. Escalating over an
+    // adaptive plan now fails up front with a typed error, for slices
+    // and ranges alike, before any device is simulated.
+    let plan = LotPlan::adaptive(
+        &[],
+        GainMask::paper_lowpass(),
+        netan::RefinementPolicy::default(),
+    );
+    let schedule = EscalationSchedule::paper_default();
+    let factory = paper_factory(0.05);
+    let err = LotEngine::serial()
+        .run_escalated(&factory, &[0, 1], &plan, &schedule)
+        .unwrap_err();
+    assert_eq!(err, NetanError::AdaptivePlanUnsupported);
+    let err = LotEngine::serial()
+        .run_escalated_range(&factory, 0..2, &plan, &schedule)
+        .unwrap_err();
+    assert_eq!(err, NetanError::AdaptivePlanUnsupported);
+    assert!(err.to_string().contains("fixed-grid"));
+}
+
+#[test]
+fn escalated_shard_partition_merges_to_the_monolithic_report() {
+    // Sharding an unbudgeted escalated lot and merging the parts must
+    // reproduce the monolithic run bit for bit — stage summaries,
+    // carry-forward counts, spent time, everything. (Budgeted schedules
+    // gate on the global lot prefix, so they are exempt by design; see
+    // the sharding notes in `netan::lot`.)
+    let plan = paper_plan();
+    let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 90]);
+    let factory = paper_factory(0.09);
+    let engine = LotEngine::serial();
+
+    let whole = engine
+        .run_escalated_range(&factory, 0..6, &plan, &schedule)
+        .unwrap();
+    // The premise: some shard escalates and some does not, so the merge
+    // exercises the stage carry-forward path.
+    assert!(whole.stages().len() > 1);
+
+    let merged = [0..2u64, 2..4, 4..6]
+        .into_iter()
+        .map(|r| {
+            engine
+                .run_escalated_range(&factory, r, &plan, &schedule)
+                .unwrap()
+        })
+        .reduce(netan::LotReport::merge)
+        .unwrap();
+    assert_eq!(merged, whole);
+    assert_eq!(netan::lot_json(&merged), netan::lot_json(&whole));
+}
+
+#[test]
 fn single_stage_schedule_equals_plain_run() {
     // A one-stage schedule is exactly `run` with that stage's config —
     // same devices, same provenance, same stage summary, bit for bit.

@@ -117,6 +117,34 @@ fn lowest_index_device_error_wins_under_any_schedule() {
 }
 
 #[test]
+fn run_range_is_deterministic_and_equals_run_over_the_same_seeds() {
+    // Range execution is the sharding primitive: it must be bit-identical
+    // across thread counts and to `run` over the collected seed list
+    // (which attaches the same contiguous span).
+    let plan = paper_plan();
+    let config = AnalyzerConfig::ideal().with_periods(60);
+    let factory = paper_factory(0.05);
+
+    let serial = LotEngine::serial()
+        .run_range(&factory, 3..9, &plan, config)
+        .unwrap();
+    let parallel = LotEngine::with_threads(8)
+        .run_range(&factory, 3..9, &plan, config)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    let seeds: Vec<u64> = (3..9).collect();
+    let from_slice = LotEngine::serial()
+        .run(&factory, &seeds, &plan, config)
+        .unwrap();
+    assert_eq!(serial, from_slice);
+    let span = serial.shard().unwrap();
+    assert_eq!(
+        (span.seed_start, span.seed_end, span.complete),
+        (3, 9, true)
+    );
+}
+
+#[test]
 fn amortized_calibration_matches_per_device_calibration() {
     // The lot engine calibrates once (bypass taps the stimulus ahead of
     // the DUT) and shares the result; a standalone analyzer calibrates

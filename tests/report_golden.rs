@@ -9,15 +9,17 @@
 //! `UPDATE_GOLDEN=1 cargo test -p netan --test report_golden`.
 //! The structural tests below are platform-independent.
 //!
-//! `tests/fixtures/lot_small_v1.json` is the frozen `netan.lot.v1`
-//! document from before the v2 schema bump. It is never regenerated —
-//! it exists so the `plot_report` consumer provably keeps reading v1.
+//! `tests/fixtures/lot_small_v1.json` and `lot_small_v2.json` are the
+//! frozen `netan.lot.v1`/`netan.lot.v2` documents from before their
+//! respective schema bumps. They are never regenerated — they exist so
+//! the `plot_report` consumer and `netan::parse_lot_json` provably keep
+//! reading every schema version ever emitted.
 
 use dut::ActiveRcFilter;
 use mixsig::units::Seconds;
 use netan::{
-    bode_json, lot_csv, lot_json, AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan,
-    LotReport,
+    bode_json, lot_csv, lot_json, parse_lot_json, AnalyzerConfig, EscalationSchedule, GainMask,
+    LotEngine, LotPlan, LotReport,
 };
 
 const FIXTURE: &str = concat!(
@@ -33,6 +35,11 @@ const ESCALATED_FIXTURE: &str = concat!(
 const V1_FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
     "/../../tests/fixtures/lot_small_v1.json"
+);
+
+const V2_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/lot_small_v2.json"
 );
 
 fn small_seeded_lot() -> LotReport {
@@ -102,13 +109,18 @@ fn escalated_lot_json_matches_golden_fixture() {
 #[test]
 fn lot_json_structure_is_well_formed() {
     let json = lot_json(&small_seeded_lot());
-    assert!(json.starts_with("{\"schema\":\"netan.lot.v2\","));
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v3\","));
     assert!(json.ends_with("]}"));
     assert_eq!(json.matches("\"seed\":").count(), 4);
+    // Seed-slice runs carry their span as shard provenance.
+    assert!(json.contains("\"shard\":{\"seed_start\":0,\"seed_end\":4,\"complete\":true}"));
     // The mask plus 4 devices × 4 points each.
     assert_eq!(json.matches("\"freq_hz\":").count(), 4 + 4 * 4);
     // One stage summary (the plain run) plus a provenance field per device.
     assert_eq!(json.matches("\"stage\":").count(), 1 + 4);
+    // Fixed-grid plans know the uniform per-device stage cost.
+    assert_eq!(json.matches("\"device_time_s\":").count(), 1);
+    assert!(!json.contains("\"device_time_s\":null"));
     assert!(json.contains("\"budget\":{\"limit_s\":null,"));
     assert!(json.contains("\"exhausted\":false"));
     assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -123,10 +135,12 @@ fn escalated_lot_json_structure_is_well_formed() {
     assert!(report.budget_exhausted());
     assert_eq!(report.stages().len(), 2);
     let json = lot_json(&report);
-    assert!(json.starts_with("{\"schema\":\"netan.lot.v2\","));
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v3\","));
+    assert!(json.contains("\"shard\":{\"seed_start\":0,\"seed_end\":6,\"complete\":true}"));
     assert_eq!(json.matches("\"seed\":").count(), 6);
     // Two stage summaries plus one provenance field per device.
     assert_eq!(json.matches("\"stage\":").count(), 2 + 6);
+    assert_eq!(json.matches("\"device_time_s\":").count(), 2);
     assert!(json.contains("\"exhausted\":true"));
     assert!(json.contains("\"periods\":30"));
     assert!(json.contains("\"periods\":90"));
@@ -144,11 +158,12 @@ fn lot_csv_rows_and_columns_are_pinned() {
     assert_eq!(lines.len(), 1 + report.len());
     assert_eq!(
         lines[0],
-        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s"
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard"
     );
     for (i, row) in lines[1..].iter().enumerate() {
-        assert_eq!(row.split(',').count(), 10, "row {row}");
+        assert_eq!(row.split(',').count(), 11, "row {row}");
         assert!(row.starts_with(&format!("{i},")), "row {row}");
+        assert!(row.ends_with(",0..4"), "row {row}");
     }
 }
 
@@ -161,6 +176,41 @@ fn bode_json_round_trips_the_device_plot() {
     // Fixed-grid sweeps carry round-0 provenance on every point.
     assert_eq!(json.matches("\"round\":0").count(), 4);
     assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+#[test]
+fn parse_lot_json_round_trips_the_golden_fixtures() {
+    // The v3 parser re-renders its own documents byte for byte — the
+    // property checkpoint/resume leans on, proven here against the
+    // blessed fixtures rather than a fresh in-memory report.
+    for path in [FIXTURE, ESCALATED_FIXTURE] {
+        let golden = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("fixture {path}: {e} (bless with UPDATE_GOLDEN=1)"));
+        let report = parse_lot_json(&golden).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(lot_json(&report), golden.trim_end(), "{path}");
+    }
+}
+
+#[test]
+fn parse_lot_json_reads_the_frozen_v1_and_v2_fixtures() {
+    // Older documents parse (with their missing fields defaulted) and
+    // re-render as v3 — the upgrade path for saved reports.
+    for (path, devices) in [(V1_FIXTURE, 4), (V2_FIXTURE, 4)] {
+        let golden = std::fs::read_to_string(path).unwrap();
+        let report = parse_lot_json(&golden).unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(report.len(), devices, "{path}");
+        assert!(report.shard().is_none(), "{path}");
+        assert!(lot_json(&report).starts_with("{\"schema\":\"netan.lot.v3\","));
+    }
+    // The v2 freeze and the live v3 fixture describe the same lot, so
+    // everything but the schema-versioned extras must agree.
+    let v2 = parse_lot_json(&std::fs::read_to_string(V2_FIXTURE).unwrap()).unwrap();
+    let v3 = parse_lot_json(&std::fs::read_to_string(FIXTURE).unwrap()).unwrap();
+    assert_eq!(v2.devices().len(), v3.devices().len());
+    for (a, b) in v2.devices().iter().zip(v3.devices()) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.verdict, b.verdict);
+    }
 }
 
 /// Runs the `plot_report` example on a fixture and returns its stdout.
@@ -182,7 +232,7 @@ fn plot_report_output(fixture: &str) -> String {
 
 #[test]
 fn plot_report_still_consumes_schema_v1() {
-    // Regression: the v2 schema bump must not orphan saved v1 documents.
+    // Regression: the schema bumps must not orphan saved v1 documents.
     // The frozen pre-bump fixture has 4 devices x 4 points.
     let csv = plot_report_output(V1_FIXTURE);
     let lines: Vec<&str> = csv.lines().collect();
@@ -195,9 +245,18 @@ fn plot_report_still_consumes_schema_v1() {
 }
 
 #[test]
-fn plot_report_consumes_schema_v2() {
+fn plot_report_still_consumes_schema_v2() {
+    // Regression: the v3 bump must not orphan saved v2 documents.
+    let csv = plot_report_output(V2_FIXTURE);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 16, "unexpected row count:\n{csv}");
+    assert!(lines[0].starts_with("seed,verdict,freq_hz,"));
+}
+
+#[test]
+fn plot_report_consumes_schema_v3() {
     // The consumer reads what the sink now writes: same per-point rows,
-    // with the v2 stage/budget extras ignored.
+    // with the v3 shard/stage-cost extras ignored.
     let csv = plot_report_output(ESCALATED_FIXTURE);
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 6 * 4, "unexpected row count:\n{csv}");
