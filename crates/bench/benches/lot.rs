@@ -17,6 +17,9 @@
 //!   cheaper one;
 //! * escalation spends **measurably less simulated test time** than the
 //!   deepest-stage reference;
+//! * sequential stopping reproduces the staged run's verdicts, stages
+//!   and plots **bit for bit** while charging strictly less simulated
+//!   test time whenever any device escalated;
 //! * the sharded section's merged partition is **byte-identical** (via
 //!   `lot_json`) to the monolithic report, and a checkpoint drive halted
 //!   mid-lot and resumed reproduces the same bytes.
@@ -265,6 +268,59 @@ fn main() {
         "lot_{label}_escalated/{lot_size}_devices  wall-clock {esc_time:>12?} vs {deep_time:>12?} \
          all-at-M={deepest}  ({:.2}x)",
         deep_time.as_secs_f64() / esc_time.as_secs_f64().max(1e-12)
+    );
+
+    // ------------------------------------------------------------------
+    // Sequential stopping vs. staged re-measurement on the same lot.
+    // ------------------------------------------------------------------
+    let sequential = schedule.clone().sequential();
+
+    let run_sequential = |engine: &LotEngine| {
+        let start = Instant::now();
+        let report = engine
+            .run_escalated(borderline_factory, &seeds, &plan, &sequential)
+            .expect("sequential lot run failed");
+        (report, start.elapsed())
+    };
+    let (seq_serial, _) = run_sequential(&serial_engine);
+    let (seq_parallel, seq_time_a) = run_sequential(&parallel_engine);
+    let (_, seq_time_b) = run_sequential(&parallel_engine);
+    let seq_time = seq_time_a.min(seq_time_b);
+
+    // Correctness gates, before any timing is reported: bit-identity
+    // across engines, and verdict/stage parity with the staged run —
+    // the deterministic simulation reproduces a continued acquisition's
+    // accumulator exactly, so only the charges may differ.
+    assert_eq!(
+        seq_serial, seq_parallel,
+        "parallel sequential lot diverged from the serial reference"
+    );
+    for (s, e) in seq_parallel.devices().iter().zip(esc_parallel.devices()) {
+        assert_eq!(
+            (s.seed, s.verdict, s.stage, s.periods),
+            (e.seed, e.verdict, e.stage, e.periods),
+            "sequential stopping changed seed {}'s outcome vs the staged run",
+            s.seed
+        );
+    }
+    let seq_spent = seq_parallel.spent().value();
+    let retested_any = esc_parallel.devices().iter().any(|d| d.stage > 0);
+    assert!(retested_any, "premise: the borderline lot must escalate");
+    assert!(
+        seq_spent < esc_spent,
+        "sequential stopping spent {seq_spent:.1} s, not strictly less than the staged \
+         run's {esc_spent:.1} s despite re-tests"
+    );
+
+    println!(
+        "lot_{label}_sequential/{lot_size}_devices  simulated test time {seq_spent:.1} s vs \
+         {esc_spent:.1} s staged vs {deep_spent:.1} s all-at-M={deepest}  \
+         (verdicts bit-equal staged: yes)"
+    );
+    println!(
+        "lot_{label}_sequential/{lot_size}_devices  wall-clock {seq_time:>12?} vs {esc_time:>12?} \
+         staged  ({:.2}x)",
+        esc_time.as_secs_f64() / seq_time.as_secs_f64().max(1e-12)
     );
 
     // On a multi-core machine the full-size device fan-out must actually

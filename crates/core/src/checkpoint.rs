@@ -4,19 +4,28 @@
 //! finishes in one process lifetime. [`LotCheckpoint`] drives a lot as
 //! a sequence of fixed-size seed shards ([`LotEngine::run_range`] /
 //! [`LotEngine::run_escalated_range`]), persisting each completed
-//! shard's partial `netan.lot.v3` document under a directory and
+//! shard's partial `netan.lot.v4` document under a directory and
 //! merging everything — loaded and freshly run alike — with
 //! [`LotReport::merge`] in seed order.
 //!
 //! Restarting the same drive resumes from the highest complete seed
 //! index on disk: every shard whose document is present, parseable and
 //! span-matched is loaded instead of re-run; anything missing, torn or
-//! stale is simply measured again. Because `netan.lot.v3` re-renders
+//! stale is simply measured again. Because `netan.lot.v4` re-renders
 //! parsed documents byte for byte
 //! ([`parse_lot_json`]), an interrupted
 //! and resumed lot produces the **identical** final document an
 //! uninterrupted run would have — the resume-equality guarantee the
 //! property suite and the lot bench assert.
+//!
+//! A budgeted escalation schedule is threaded through the shards as a
+//! **global** budget: each shard runs with whatever the earlier shards
+//! left over, `global − Σ observed spend so far`, where the spend is
+//! read off the merged observed-cost ledger
+//! ([`LotReport::spent`]). Loaded checkpoints contribute their
+//! persisted ledgers exactly like freshly run shards, so the remaining
+//! budget every shard sees — and therefore which devices its re-tests
+//! admit — is identical across kill-and-resume.
 //!
 //! Shard files are written atomically (temp file + rename), so a crash
 //! mid-write leaves at worst an ignorable torn temp file, never a
@@ -27,6 +36,7 @@ use crate::error::NetanError;
 use crate::lot::{EscalationSchedule, LotEngine, LotPlan, LotReport, ShardSpan};
 use crate::report::{lot_json, parse_lot_json};
 use dut::Dut;
+use mixsig::units::Seconds;
 use std::io;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
@@ -178,21 +188,30 @@ impl LotCheckpoint {
         D: Dut,
         F: Fn(u64) -> D + Sync,
     {
-        self.drive(lot, plan, |span| {
+        self.drive(lot, plan, |span, _spent| {
             engine.run_range(&factory, span, plan, config)
         })
     }
 
     /// Drives `lot` through `engine.run_escalated_range` shard by
-    /// shard. The schedule's budget (if any) applies **per shard** —
-    /// see the [sharding caveat](crate::lot#sharding); resume-equality
-    /// to an uninterrupted drive holds either way, byte-identity to a
-    /// monolithic `run_escalated` only for unbudgeted schedules.
+    /// shard. The schedule's budget (if any) is treated as **global**:
+    /// each shard runs under the remainder `global − Σ observed spend`
+    /// of every earlier shard, loaded checkpoints included, read off
+    /// the merged observed-cost ledger — see the
+    /// [sharding notes](crate::lot#sharding). Resume-equality to an
+    /// uninterrupted drive holds budgeted or not (the remaining budget
+    /// is recomputed from the persisted ledgers); byte-identity to a
+    /// monolithic `run_escalated` holds for unbudgeted schedules, while
+    /// a budgeted sharded drive stays deterministic but may admit a
+    /// different re-test prefix than the monolithic global one. The
+    /// final merged report carries the global budget, not the sum of
+    /// the per-shard remainders.
     ///
     /// # Errors
     ///
-    /// As [`run`](Self::run), plus every `run_escalated` error
-    /// (budget-below-screen, adaptive plan).
+    /// As [`run`](Self::run), plus every `run_escalated` error — in
+    /// particular [`NetanError::BudgetExhausted`] when the remaining
+    /// global budget cannot cover a shard's screening pass.
     pub fn run_escalated<D, F>(
         &self,
         engine: &LotEngine,
@@ -205,8 +224,24 @@ impl LotCheckpoint {
         D: Dut,
         F: Fn(u64) -> D + Sync,
     {
-        self.drive(lot, plan, |span| {
-            engine.run_escalated_range(&factory, span, plan, schedule)
+        let global = schedule.budget();
+        let report = self.drive(lot, plan, |span, spent| {
+            let shard_schedule = match global {
+                Some(b) => schedule
+                    .clone()
+                    .with_budget(Seconds((b.value() - spent.value()).max(0.0))),
+                None => schedule.clone(),
+            };
+            engine.run_escalated_range(&factory, span, plan, &shard_schedule)
+        })?;
+        // Each shard document answers for the budget that remained when
+        // it ran; the merged lot answers for the one global budget.
+        Ok(match global {
+            Some(b) => {
+                let exhausted = report.budget_exhausted();
+                report.with_budget(Some(b), exhausted)
+            }
+            None => report,
         })
     }
 
@@ -214,7 +249,7 @@ impl LotCheckpoint {
         &self,
         lot: Range<u64>,
         plan: &LotPlan,
-        run_shard: impl Fn(Range<u64>) -> Result<LotReport, NetanError>,
+        run_shard: impl Fn(Range<u64>, Seconds) -> Result<LotReport, NetanError>,
     ) -> Result<LotReport, CheckpointError> {
         if lot.start >= lot.end {
             return Err(CheckpointError::Lot(NetanError::EmptyLot));
@@ -225,6 +260,9 @@ impl LotCheckpoint {
         while start < lot.end {
             let end = lot.end.min(start.saturating_add(self.shard_devices));
             let span = start..end;
+            // Observed spend of everything merged so far — what earlier
+            // shards (loaded or fresh) charged against a global budget.
+            let spent = merged.as_ref().map_or(Seconds(0.0), LotReport::spent);
             let report = match self.load_shard(&span, plan) {
                 Some(loaded) => loaded,
                 None => {
@@ -239,7 +277,7 @@ impl LotCheckpoint {
                             complete: false,
                         }));
                     }
-                    let ran = run_shard(span.clone())?;
+                    let ran = run_shard(span.clone(), spent)?;
                     self.persist(&span, &ran)?;
                     fresh += 1;
                     ran
@@ -404,6 +442,52 @@ mod tests {
             crate::report::lot_json(&whole)
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budgeted_drive_threads_the_global_budget_and_resumes_identically() {
+        use crate::plan::grid_time;
+        let plan = plan();
+        let config = AnalyzerConfig::ideal().with_periods(50);
+        let engine = LotEngine::serial();
+        // Budget: screening for all 6 devices plus roughly one re-test —
+        // later shards must see what earlier shards left over.
+        let c0 = grid_time(50, plan.grid());
+        let c1 = grid_time(200, plan.grid());
+        let budget = Seconds(6.0 * c0.value() + 1.5 * c1.value());
+        let schedule = EscalationSchedule::from_periods(config, &[50, 200]).with_budget(budget);
+
+        let dir_a = temp_dir("budget-a");
+        std::fs::remove_dir_all(&dir_a).ok();
+        let whole = LotCheckpoint::new(&dir_a, 2)
+            .run_escalated(&engine, factory, 0..6, &plan, &schedule)
+            .unwrap();
+        // The merged lot answers for the global budget, not the sum of
+        // the per-shard remainders.
+        assert_eq!(whole.budget(), Some(budget));
+        assert!(whole.spent().value() <= budget.value() + c1.value());
+
+        // Kill after one fresh shard, then resume: the remaining budget
+        // is recomputed from the persisted observed ledgers, so the
+        // resumed drive reproduces the uninterrupted document exactly.
+        let dir_b = temp_dir("budget-b");
+        std::fs::remove_dir_all(&dir_b).ok();
+        let ckpt = LotCheckpoint::new(&dir_b, 2);
+        let halted = ckpt
+            .clone()
+            .with_shard_limit(1)
+            .run_escalated(&engine, factory, 0..6, &plan, &schedule)
+            .unwrap();
+        assert!(!halted.shard().unwrap().complete);
+        let resumed = ckpt
+            .run_escalated(&engine, factory, 0..6, &plan, &schedule)
+            .unwrap();
+        assert_eq!(
+            crate::report::lot_json(&resumed),
+            crate::report::lot_json(&whole)
+        );
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

@@ -31,23 +31,31 @@ pub enum NetanError {
         /// requirement is not even finite).
         required_periods: u64,
     },
-    /// An escalation schedule was asked to run over an adaptive
-    /// [`LotPlan`](crate::lot::LotPlan): per-device refined grids would
-    /// make the projected stage cost — and hence the budget gate —
-    /// device-dependent and unknowable before measuring. Escalate on a
-    /// fixed grid, or refine without a schedule via
-    /// [`LotEngine::run`](crate::lot::LotEngine::run).
-    AdaptivePlanUnsupported,
+    /// A lot plan's sweep grid does not contain one of its mask
+    /// frequencies, so the mask point could never be measured and
+    /// classification would fail mid-lot.
+    /// [`LotPlan::new`](crate::lot::LotPlan::new) always unions the
+    /// mask into the grid;
+    /// this rejects plans assembled some other way up front, before any
+    /// simulation.
+    MaskFrequencyMissing {
+        /// The unmeasured mask frequency in millihertz.
+        hz_millis: i64,
+    },
     /// An escalation schedule's test-time budget cannot even cover the
     /// stage-0 screening pass over the whole lot — no device would get a
     /// verdict at all. Raise the budget, shrink the lot, or cheapen the
     /// first stage.
+    ///
+    /// Both fields round **up** to the next simulated millisecond, so a
+    /// sub-millisecond budget never misreports as `0` and the displayed
+    /// pair never inverts the real comparison.
     BudgetExhausted {
         /// Simulated milliseconds the stage-0 screening pass needs
         /// (rounded up).
         needed_ms: u64,
-        /// The schedule's budget in simulated milliseconds (rounded
-        /// down).
+        /// The schedule's budget in simulated milliseconds (rounded up,
+        /// the same way as `needed_ms`).
         budget_ms: u64,
     },
 }
@@ -79,13 +87,13 @@ impl std::fmt::Display for NetanError {
                      tolerance or raise the expected level"
                 )
             }
-            NetanError::AdaptivePlanUnsupported => {
+            NetanError::MaskFrequencyMissing { hz_millis } => {
                 write!(
                     f,
-                    "escalation schedules require a fixed-grid plan: adaptive \
-                     refinement makes per-device stage costs unknowable before \
-                     measuring; escalate on a fixed grid or refine without a \
-                     schedule"
+                    "mask frequency {} Hz is not in the sweep grid, so the \
+                     mask point would never be measured; build the plan with \
+                     LotPlan::new, which unions the mask into the grid",
+                    *hz_millis as f64 / 1000.0
                 )
             }
             NetanError::BudgetExhausted {
@@ -147,9 +155,9 @@ mod tests {
         assert!(b.to_string().contains("12.5 s"));
         assert!(b.to_string().contains("4 s"));
         assert!(b.to_string().contains("budget"));
-        let a = NetanError::AdaptivePlanUnsupported;
-        assert!(a.to_string().contains("fixed-grid"));
-        assert!(a.to_string().contains("adaptive"));
+        let m = NetanError::MaskFrequencyMissing { hz_millis: 750 };
+        assert!(m.to_string().contains("0.75"));
+        assert!(m.to_string().contains("mask frequency"));
     }
 
     #[test]

@@ -29,12 +29,17 @@
 //!   [`LotEngine::run_escalated`]): budgeted multi-pass re-testing that
 //!   screens the lot at a cheap `M` and re-tests only still-ambiguous
 //!   devices at deeper stages — the paper's accuracy-for-test-time trade
-//!   as an operational policy,
+//!   as an operational policy. Budgets are an **observed-cost ledger**
+//!   (actual measurement time charged per completed device, adaptive
+//!   plans included), and [`StoppingPolicy::Sequential`] grows each
+//!   device's acquisition only until its own verdict decides, charging
+//!   just the period increments,
 //! * **sharded lots** ([`LotEngine::run_range`], [`LotReport::merge`])
 //!   with **checkpoint/resume** ([`LotCheckpoint`]): a lot split into
-//!   seed ranges merges back byte-identical to the monolithic run, and
-//!   an interrupted drive resumes from its persisted `netan.lot.v3`
-//!   shard documents,
+//!   seed ranges merges back byte-identical to the monolithic run, an
+//!   interrupted drive resumes from its persisted `netan.lot.v4` shard
+//!   documents, and a budgeted drive threads the remaining global
+//!   budget through successive shards off the observed ledger,
 //! * a **harmonic distortion** mode (paper Fig. 10c), serial or parallel
 //!   per harmonic,
 //! * **report sinks**: tables, CSV and JSON for Bode plots and lot
@@ -76,7 +81,7 @@ pub use error::NetanError;
 pub use harmonics::DistortionReport;
 pub use lot::{
     DeviceReport, EscalationSchedule, LotEngine, LotPlan, LotReport, ShardSpan, StageSummary,
-    VerdictCounts,
+    StoppingPolicy, VerdictCounts,
 };
 pub use plan::{grid_time, measurement_time, plan_measurement, TestPlan};
 pub use report::{

@@ -36,12 +36,41 @@
 //! the whole lot at a cheap stage-0 configuration, then re-tests only the
 //! devices still [`SpecVerdict::Ambiguous`] at each deeper (larger-`M`)
 //! stage, amortizing one calibration per stage and fanning re-tests
-//! across the same pool. An optional test-time budget — simulated
-//! seconds, the currency of [`crate::plan::measurement_time`] — caps the
-//! total; escalation stops early when the budget is exhausted or no
-//! devices remain ambiguous. Hard enclosures make the policy sound: a
+//! across the same pool. Hard enclosures make the policy sound: a
 //! deeper stage can only *narrow* an enclosure around the same truth, so
 //! a decided `Pass`/`Fail` is never re-tested and never flips.
+//!
+//! How a device's acquisition grows across stages is the
+//! [`StoppingPolicy`]:
+//!
+//! * [`StoppingPolicy::Staged`] re-inserts the device per stage — every
+//!   re-test is a fresh acquisition charged at the full stage `M`;
+//! * [`StoppingPolicy::Sequential`] keeps the device on the tester and
+//!   **continues** the acquisition — the simulation is deterministic, so
+//!   re-measuring at a deeper `M` reproduces exactly the accumulator
+//!   state a continued acquisition would hold, and only the *increment*
+//!   `M_s − M_{s−1}` is charged. Each device grows its own `M` only
+//!   until its verdict decides (SPRT-style sequential testing); verdicts
+//!   and stopping stages are identical to `Staged`, the observed spend is
+//!   strictly smaller whenever anything escalates.
+//!
+//! # Budgets: the observed-cost ledger
+//!
+//! An optional test-time budget — simulated seconds, the currency of
+//! [`crate::plan::measurement_time`] — caps the total. The ledger is
+//! **observed**, not projected: each admitted device's actual
+//! measurement time is charged as it completes, and the next re-test is
+//! admitted (in seed order) while `spent < budget`. The final admitted
+//! device may therefore overshoot the budget by at most its own re-test
+//! time. Because no cost needs to be known ahead of measuring, budgeted
+//! escalation accepts [adaptive](LotPlan::adaptive) plans, whose
+//! per-device refined grids have device-dependent costs.
+//!
+//! The stage-0 screening pass is all-or-nothing — without it no device
+//! has a verdict — so a budget that cannot cover it is
+//! [`NetanError::BudgetExhausted`], rejected before any simulation on
+//! fixed grids and right after the (observed) screening pass on
+//! adaptive plans.
 //!
 //! # Sharding
 //!
@@ -52,16 +81,21 @@
 //! adjacent shards into the byte-identical report one monolithic run
 //! would have produced, with [`LotReport::empty`] as the identity.
 //! Shard provenance travels as a [`ShardSpan`] through the
-//! `netan.lot.v3` JSON schema, which is what the
+//! `netan.lot.v4` JSON schema, which is what the
 //! [`checkpoint`](crate::checkpoint) driver persists per shard and
 //! resumes a lot from after an interruption.
 //!
-//! One caveat: a budgeted escalation schedule gates re-tests on a
-//! *global* seed-order prefix, which no shard can reproduce locally, so
-//! under sharding the budget applies **per shard**. Byte-identity to a
-//! monolithic run therefore holds for unbudgeted schedules (and plain
-//! runs); budgeted sharded lots are deterministic but answer a
-//! different — per-shard — budget question.
+//! Budgets under sharding: a budgeted schedule admits re-tests against
+//! the lot-global observed ledger, which a single shard cannot see, so
+//! one shard in isolation still budgets per shard. But because the
+//! ledger is *observed*, a sequential shard driver — the
+//! [`checkpoint`](crate::checkpoint) drive — can thread the remaining
+//! global budget into each successive shard (each shard's persisted
+//! report carries its observed spend), giving a sharded lot a
+//! global-style budget answer with deterministic kill-and-resume.
+//! Byte-identity to a monolithic run holds for unbudgeted schedules
+//! (and plain runs); budgeted sharded lots are deterministic but admit
+//! re-tests at shard boundaries a monolithic ledger would interleave.
 
 use crate::adaptive::{AdaptiveSweep, RefinementPolicy};
 use crate::analyzer::{AnalyzerConfig, BodePoint, Calibration, NetworkAnalyzer};
@@ -165,7 +199,10 @@ impl LotPlan {
     /// # Panics
     ///
     /// Panics if a mask frequency is missing from `points` (impossible
-    /// for plots produced from this plan, whose seed contains the mask).
+    /// for plots produced from this plan, whose seed contains the mask;
+    /// the lot engine additionally rejects any plan whose grid does not
+    /// cover its mask with [`NetanError::MaskFrequencyMissing`] before
+    /// measuring anything, so a lot run can never reach this panic).
     pub fn classify_plot(&self, points: &[BodePoint]) -> SpecVerdict {
         let masked: Vec<BodePoint> = self
             .mask
@@ -182,10 +219,28 @@ impl LotPlan {
     }
 }
 
+/// How a device's acquisition grows across escalation stages — the
+/// per-device stopping rule of an [`EscalationSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoppingPolicy {
+    /// Each stage is a fresh insertion: a re-test is charged the full
+    /// stage `M`. The PR-5 staged policy, and the default.
+    #[default]
+    Staged,
+    /// Per-device sequential stopping: the device stays on the tester
+    /// and its acquisition *continues* into the next stage, so a
+    /// re-test is charged only the period increment `M_s − M_{s−1}`.
+    /// The measured plot and verdict at each stage are bit-identical to
+    /// `Staged` (the deterministic simulation reproduces the continued
+    /// accumulator state exactly); only the observed spend differs.
+    Sequential,
+}
+
 /// An ordered multi-pass re-test schedule: stage 0 screens the whole
 /// lot, each later stage re-tests only the devices still
 /// [`SpecVerdict::Ambiguous`], and an optional budget caps the total
-/// simulated test time the lot may spend.
+/// simulated test time the lot may spend against the observed-cost
+/// ledger (see the [module docs](self#budgets-the-observed-cost-ledger)).
 ///
 /// Stages must escalate — strictly increasing `periods` — so every
 /// re-test buys a narrower enclosure than the pass that left the device
@@ -194,6 +249,7 @@ impl LotPlan {
 pub struct EscalationSchedule {
     stages: Vec<AnalyzerConfig>,
     budget: Option<Seconds>,
+    stopping: StoppingPolicy,
 }
 
 impl EscalationSchedule {
@@ -219,6 +275,7 @@ impl EscalationSchedule {
         Self {
             stages,
             budget: None,
+            stopping: StoppingPolicy::Staged,
         }
     }
 
@@ -247,15 +304,30 @@ impl EscalationSchedule {
         self
     }
 
-    /// Returns the schedule with any budget removed. Sharded and
-    /// checkpointed drives use this: a budget gates devices by their
-    /// global lot prefix, which a shard cannot observe (see
-    /// [Sharding](self#sharding)), so dropping it restores byte-identity
-    /// between a merged partition and the monolithic run.
+    /// Returns the schedule with any budget removed. Sharded drives
+    /// that want byte-identity between a merged partition and the
+    /// monolithic run use this: a budget admits re-tests against the
+    /// lot-global observed ledger, which a shard cannot observe in
+    /// isolation (see [Sharding](self#sharding)).
     #[must_use]
     pub fn without_budget(mut self) -> Self {
         self.budget = None;
         self
+    }
+
+    /// Returns the schedule with the given per-device stopping policy
+    /// ([`StoppingPolicy::Staged`] is the default).
+    #[must_use]
+    pub fn with_stopping(mut self, stopping: StoppingPolicy) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Shorthand for
+    /// [`with_stopping(StoppingPolicy::Sequential)`](Self::with_stopping).
+    #[must_use]
+    pub fn sequential(self) -> Self {
+        self.with_stopping(StoppingPolicy::Sequential)
     }
 
     /// The per-stage analyzer configurations, stage 0 first.
@@ -266,6 +338,27 @@ impl EscalationSchedule {
     /// The test-time budget, if one is set.
     pub fn budget(&self) -> Option<Seconds> {
         self.budget
+    }
+
+    /// The per-device stopping policy.
+    pub fn stopping(&self) -> StoppingPolicy {
+        self.stopping
+    }
+
+    /// Evaluation periods *charged* for one device passing `stage`: the
+    /// full stage `M` under [`StoppingPolicy::Staged`] (each stage is a
+    /// fresh insertion), the increment over the previous stage under
+    /// [`StoppingPolicy::Sequential`] (the acquisition continues).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn charged_periods(&self, stage: usize) -> u32 {
+        let m = self.stages[stage].periods;
+        match self.stopping {
+            StoppingPolicy::Sequential if stage > 0 => m - self.stages[stage - 1].periods,
+            _ => m,
+        }
     }
 
     /// Simulated test time one device spends at `stage` over `grid`: the
@@ -279,6 +372,20 @@ impl EscalationSchedule {
     /// non-positive frequency.
     pub fn device_stage_time(&self, stage: usize, grid: &[Hertz]) -> Seconds {
         grid_time(self.stages[stage].periods, grid)
+    }
+
+    /// Simulated test time one device is *charged* at `stage` over
+    /// `grid` under this schedule's [`StoppingPolicy`]: equal to
+    /// [`device_stage_time`](Self::device_stage_time) for `Staged`
+    /// stages, the cost of just the period increment for `Sequential`
+    /// re-test stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or `grid` contains a
+    /// non-positive frequency.
+    pub fn device_stage_charge(&self, stage: usize, grid: &[Hertz]) -> Seconds {
+        grid_time(self.charged_periods(stage), grid)
     }
 }
 
@@ -333,13 +440,17 @@ pub struct StageSummary {
     pub tested: usize,
     /// Lot-wide verdict histogram *after* this stage completed.
     pub counts: VerdictCounts,
-    /// Simulated test time spent at this stage across all tested devices.
+    /// Observed simulated test time charged at this stage across all
+    /// tested devices (the seed-order left fold of their per-stage
+    /// charges).
     pub time: Seconds,
-    /// Uniform per-device cost of this stage
-    /// ([`crate::plan::grid_time`] at the stage's `M`), or `None` when
-    /// the cost is device-dependent (adaptive plans).
-    /// [`StageSummary::merge`] re-derives the merged `time` from it, so
-    /// shard merges reproduce a monolithic run's fold bit for bit.
+    /// Uniform per-device charge of this stage
+    /// ([`crate::plan::grid_time`] at the stage's *charged* periods —
+    /// the full `M` for `Staged` stages, the increment for `Sequential`
+    /// re-test stages), or `None` when the charge is device-dependent
+    /// (adaptive plans). [`StageSummary::merge`] re-derives the merged
+    /// `time` from it, so shard merges reproduce a monolithic run's
+    /// fold bit for bit.
     pub device_time: Option<Seconds>,
 }
 
@@ -414,8 +525,16 @@ pub struct DeviceReport {
     /// Evaluation periods `M` used at that final stage.
     pub periods: u32,
     /// Cumulative simulated test time across every stage this device
-    /// ran, in the unit of [`crate::plan::measurement_time`].
+    /// ran, in the unit of [`crate::plan::measurement_time`] — the left
+    /// fold of [`stage_times`](Self::stage_times).
     pub test_time: Seconds,
+    /// Observed simulated test time *charged* per executed stage, in
+    /// stage order (one entry per stage this device ran, so
+    /// `stage_times.len() == stage + 1` for engine-produced reports).
+    /// Under [`StoppingPolicy::Sequential`] an entry past stage 0 is the
+    /// cost of just the period increment. Empty for reports parsed from
+    /// pre-`netan.lot.v4` documents, which did not record it.
+    pub stage_times: Vec<Seconds>,
 }
 
 /// The lot-level verdict histogram.
@@ -480,6 +599,7 @@ pub struct LotReport {
     stages: Vec<StageSummary>,
     budget: Option<Seconds>,
     budget_exhausted: bool,
+    stopping: StoppingPolicy,
     shard: Option<ShardSpan>,
 }
 
@@ -494,6 +614,7 @@ impl LotReport {
             stages: Vec::new(),
             budget: None,
             budget_exhausted: false,
+            stopping: StoppingPolicy::Staged,
             shard: None,
         }
     }
@@ -522,9 +643,23 @@ impl LotReport {
         self
     }
 
+    /// Returns the report with the stopping policy that produced it
+    /// ([`StoppingPolicy::Staged`] is the constructor default).
+    #[must_use]
+    pub fn with_stopping(mut self, stopping: StoppingPolicy) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// The per-device stopping policy the run used — provenance for the
+    /// observed spends in the report.
+    pub fn stopping(&self) -> StoppingPolicy {
+        self.stopping
+    }
+
     /// Returns the report with explicit shard provenance — used by the
     /// [`checkpoint`](crate::checkpoint) driver (a halted drive marks
-    /// the intended span incomplete) and by the `netan.lot.v3` loader.
+    /// the intended span incomplete) and by the `netan.lot.v4` loader.
     #[must_use]
     pub fn with_shard(mut self, shard: ShardSpan) -> Self {
         self.shard = Some(shard);
@@ -613,6 +748,7 @@ impl LotReport {
             && self.stages.is_empty()
             && self.budget.is_none()
             && !self.budget_exhausted
+            && self.stopping == StoppingPolicy::Staged
             && self.shard.is_none()
     }
 
@@ -634,9 +770,10 @@ impl LotReport {
     ///
     /// # Panics
     ///
-    /// Panics if the masks differ, the device seed lists are not
-    /// ascending-disjoint, or both sides carry shard spans that are not
-    /// adjacent (`self` ending exactly where `other` starts).
+    /// Panics if the masks differ, the stopping policies differ, the
+    /// device seed lists are not ascending-disjoint, or both sides
+    /// carry shard spans that are not adjacent (`self` ending exactly
+    /// where `other` starts).
     #[must_use]
     pub fn merge(self, other: Self) -> Self {
         assert_eq!(self.mask, other.mask, "shards of one lot share the mask");
@@ -646,6 +783,10 @@ impl LotReport {
         if other.is_merge_identity() {
             return self;
         }
+        assert_eq!(
+            self.stopping, other.stopping,
+            "shards of one lot share the stopping policy"
+        );
 
         if let (Some(last), Some(first)) = (self.devices.last(), other.devices.first()) {
             assert!(
@@ -699,12 +840,25 @@ impl LotReport {
         let mut devices = self.devices;
         devices.extend(other.devices);
 
-        // Adaptive plans have no uniform per-device cost; their single
-        // stage's time is re-folded over the merged device list — the
-        // exact accumulation a monolithic run performs.
-        if let [only] = stages.as_mut_slice() {
-            if only.device_time.is_none() {
-                only.time = devices
+        // Stages without a uniform per-device charge (adaptive plans)
+        // are re-folded over the merged device list's observed
+        // per-stage spends — the exact accumulation a monolithic run
+        // performs. Devices parsed from pre-v4 documents carry no
+        // per-stage spends; a single-stage report can still re-fold
+        // from the cumulative `test_time`, anything else falls back to
+        // the summed operands.
+        let single_stage = stages.len() == 1;
+        for summary in stages.iter_mut().filter(|s| s.device_time.is_none()) {
+            let s = summary.stage;
+            let charges: Vec<Seconds> = devices
+                .iter()
+                .filter(|d| d.stage_times.len() > s)
+                .map(|d| d.stage_times[s])
+                .collect();
+            if charges.len() == summary.tested {
+                summary.time = charges.iter().fold(Seconds(0.0), |acc, &t| acc + t);
+            } else if single_stage {
+                summary.time = devices
                     .iter()
                     .fold(Seconds(0.0), |acc, d| acc + d.test_time);
             }
@@ -720,6 +874,7 @@ impl LotReport {
             stages,
             budget,
             budget_exhausted: self.budget_exhausted || other.budget_exhausted,
+            stopping: self.stopping,
             shard,
         }
     }
@@ -890,7 +1045,16 @@ impl LotEngine {
         Self::validate_lot(seeds, plan)?;
         let cal = Self::shared_calibration(config)?;
         let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
-            self.characterize_device(&factory, seeds[i], plan, config, cal, 0, Seconds(0.0))
+            self.characterize_device(
+                &factory,
+                seeds[i],
+                plan,
+                config,
+                cal,
+                0,
+                config.periods,
+                &[],
+            )
         });
         // Buffered results: the lowest-index error wins, as in a serial
         // in-order run.
@@ -917,31 +1081,34 @@ impl LotEngine {
     /// the devices still [`SpecVerdict::Ambiguous`] at each subsequent
     /// stage — one shared calibration per stage, re-tests fanned across
     /// the same worker pool — until no device is ambiguous, the schedule
-    /// is exhausted, or the budget cannot pay for another re-test.
+    /// is exhausted, or the budget admits no further re-test. Under
+    /// [`StoppingPolicy::Sequential`] each re-test continues the
+    /// device's acquisition and is charged only the period increment;
+    /// verdicts are identical to `Staged`, the spend is smaller.
     ///
-    /// When the remaining budget covers only part of a stage's ambiguous
-    /// set, the longest seed-order prefix that fits is re-tested (every
-    /// device costs the same at a given stage: the grid is shared), the
-    /// report's [`budget_exhausted`](LotReport::budget_exhausted) flag is
-    /// set, and escalation stops once nothing more is affordable. The
-    /// total spent therefore never exceeds the budget.
+    /// Budgeting is an **observed-cost ledger**: each re-test's actual
+    /// measurement time is charged as it completes, and the next
+    /// ambiguous device (in seed order) is admitted while
+    /// `spent < budget` — so the final admitted re-test may overshoot
+    /// the budget by at most its own time, the report's
+    /// [`budget_exhausted`](LotReport::budget_exhausted) flag is set
+    /// whenever an ambiguous device was denied, and
+    /// [adaptive](LotPlan::adaptive) plans (device-dependent costs) are
+    /// fully supported.
     ///
-    /// Results are bit-identical to a serial in-order run: the retest
-    /// sets are decided only by verdicts and budget arithmetic (never by
-    /// completion order), and on failure the lowest-seed-index error of
-    /// the failing stage is reported.
+    /// Results are bit-identical to a serial in-order run: admissions
+    /// are replayed in seed order against the ledger (never by
+    /// completion order), and on failure the lowest-seed-index error
+    /// among the *admitted* measurements of the failing stage is
+    /// reported.
     ///
     /// # Errors
     ///
     /// Everything [`run`](Self::run) returns, plus
-    /// [`NetanError::BudgetExhausted`] when the budget cannot even cover
-    /// the stage-0 screening pass, and
-    /// [`NetanError::AdaptivePlanUnsupported`] for an adaptive
-    /// [`LotPlan`] — per-device refined grids would make the projected
-    /// stage cost, and hence the budget gate, device-dependent and
-    /// unknowable before measuring (escalate on a fixed grid, or refine
-    /// without a schedule via [`run`](Self::run)). Both are rejected
-    /// before any simulation.
+    /// [`NetanError::BudgetExhausted`] when the budget cannot cover the
+    /// all-or-nothing stage-0 screening pass — rejected before any
+    /// simulation on fixed grids, and right after the observed screening
+    /// pass on adaptive plans.
     pub fn run_escalated<D, F>(
         &self,
         factory: F,
@@ -999,37 +1166,40 @@ impl LotEngine {
         D: Dut,
         F: Fn(u64) -> D + Sync,
     {
-        if plan.refinement().is_some() {
-            return Err(NetanError::AdaptivePlanUnsupported);
-        }
         Self::validate_lot(seeds, plan)?;
-        let stage_cost: Vec<Seconds> = (0..schedule.stages().len())
-            .map(|s| schedule.device_stage_time(s, plan.grid()))
-            .collect();
-
-        // Per-stage cost of one whole-set re-test, accumulated the same
-        // way device times are (a fold, not a product), so stage sums,
-        // device sums and `spent` agree to the last bit.
-        let set_cost =
-            |n: usize, per_device: Seconds| (0..n).fold(Seconds(0.0), |acc, _| acc + per_device);
+        // Fixed grids have a uniform, projectable per-device charge at
+        // every stage; adaptive plans refine per device, so every cost
+        // is observed.
+        let uniform = plan.refinement().is_none();
+        let stage_charge =
+            |s: usize| uniform.then(|| grid_time(schedule.charged_periods(s), plan.grid()));
 
         // The screening pass is all-or-nothing: without it no device has
         // a verdict, so a budget that cannot cover it is an error, not a
-        // silently empty report.
-        let screening_cost = set_cost(seeds.len(), stage_cost[0]);
-        if let Some(budget) = schedule.budget() {
+        // silently empty report. On a fixed grid the screening cost is
+        // projectable and rejected before any simulation; an adaptive
+        // plan's cost is observed, so the same check runs right after
+        // the screening pass below.
+        if let (Some(budget), Some(c0)) = (schedule.budget(), stage_charge(0)) {
+            let screening_cost = (0..seeds.len()).fold(Seconds(0.0), |acc, _| acc + c0);
             if screening_cost.value() > budget.value() {
-                return Err(NetanError::BudgetExhausted {
-                    needed_ms: (screening_cost.value() * 1000.0).ceil() as u64,
-                    budget_ms: (budget.value() * 1000.0) as u64,
-                });
+                return Err(Self::budget_error(screening_cost, budget));
             }
         }
 
         let config0 = schedule.stages()[0];
         let cal = Self::shared_calibration(config0)?;
         let results = pool::map_indexed(self.device_threads, seeds.len(), |i| {
-            self.characterize_device(&factory, seeds[i], plan, config0, cal, 0, Seconds(0.0))
+            self.characterize_device(
+                &factory,
+                seeds[i],
+                plan,
+                config0,
+                cal,
+                0,
+                config0.periods,
+                &[],
+            )
         });
         let mut devices = results.into_iter().collect::<Result<Vec<_>, _>>()?;
 
@@ -1038,6 +1208,11 @@ impl LotEngine {
         let screen_time = devices
             .iter()
             .fold(Seconds(0.0), |acc, d| acc + d.test_time);
+        if let Some(budget) = schedule.budget() {
+            if !uniform && screen_time.value() > budget.value() {
+                return Err(Self::budget_error(screen_time, budget));
+            }
+        }
         let mut spent = screen_time;
         let mut stages = vec![StageSummary {
             stage: 0,
@@ -1045,7 +1220,7 @@ impl LotEngine {
             tested: devices.len(),
             counts: VerdictCounts::tally(&devices),
             time: screen_time,
-            device_time: Some(stage_cost[0]),
+            device_time: stage_charge(0),
         }];
         let mut budget_exhausted = false;
 
@@ -1059,54 +1234,105 @@ impl LotEngine {
             if ambiguous.is_empty() {
                 break;
             }
-            // The longest seed-order prefix the remaining budget can pay
-            // for (per-device cost is uniform at a stage: shared grid).
-            let affordable = match schedule.budget() {
-                None => ambiguous.len(),
-                Some(budget) => {
-                    let fit = (budget.value() - spent.value()) / stage_cost[s].value();
-                    // Saturating f64 → usize cast: negative remainder → 0.
-                    ambiguous.len().min(fit.floor() as usize)
+            // How many candidates to measure. With a uniform per-device
+            // charge the admitted seed-order prefix — admit while
+            // `spent < budget`, charge on completion — is computable
+            // without measuring; adaptive charges are observed, so every
+            // candidate is measured and the ledger replay below decides.
+            let measure = match (schedule.budget(), stage_charge(s)) {
+                (Some(budget), Some(c)) => {
+                    let mut k = 0;
+                    let mut acc = spent;
+                    while k < ambiguous.len() && acc.value() < budget.value() {
+                        acc = acc + c;
+                        k += 1;
+                    }
+                    k
                 }
+                _ => ambiguous.len(),
             };
-            if affordable < ambiguous.len() {
+            if measure == 0 {
                 budget_exhausted = true;
-            }
-            if affordable == 0 {
                 break;
             }
-            let retest = &ambiguous[..affordable];
+            let charge_periods = schedule.charged_periods(s);
             let cal = Self::shared_calibration(config)?;
-            let results = pool::map_indexed(self.device_threads, retest.len(), |j| {
-                let d = &devices[retest[j]];
-                self.characterize_device(&factory, d.seed, plan, config, cal, s, d.test_time)
+            let results = pool::map_indexed(self.device_threads, measure, |j| {
+                let d = &devices[ambiguous[j]];
+                self.characterize_device(
+                    &factory,
+                    d.seed,
+                    plan,
+                    config,
+                    cal,
+                    s,
+                    charge_periods,
+                    &d.stage_times,
+                )
             });
-            // Buffered, so the lowest-seed-index error of this stage wins
-            // under any schedule, exactly as a serial re-test would.
-            let reports = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-            for (&i, report) in retest.iter().zip(reports) {
+            // Observed-cost ledger replay, in seed order: admit the next
+            // ambiguous device while `spent < budget`, charge its actual
+            // measurement time as it completes. Results are buffered, so
+            // the lowest-seed-index error among the admitted re-tests
+            // wins under any thread schedule, exactly as a serial
+            // in-order run would report it; results past the admission
+            // cut-off never touch the report or the ledger.
+            let mut tested = 0;
+            let mut stage_time = Seconds(0.0);
+            let mut results = results.into_iter();
+            for (j, &i) in ambiguous.iter().enumerate() {
+                let denied = j >= measure
+                    || schedule
+                        .budget()
+                        .is_some_and(|budget| spent.value() >= budget.value());
+                if denied {
+                    budget_exhausted = true;
+                    break;
+                }
+                let report = results.next().expect("one result per measured candidate")?;
+                let t = *report
+                    .stage_times
+                    .last()
+                    .expect("a re-test records its stage charge");
+                spent = spent + t;
+                stage_time = stage_time + t;
                 devices[i] = report;
+                tested += 1;
             }
-            let stage_time = set_cost(retest.len(), stage_cost[s]);
-            spent = spent + stage_time;
+            if tested == 0 {
+                break;
+            }
             stages.push(StageSummary {
                 stage: s,
                 periods: config.periods,
-                tested: retest.len(),
+                tested,
                 counts: VerdictCounts::tally(&devices),
                 time: stage_time,
-                device_time: Some(stage_cost[s]),
+                device_time: stage_charge(s),
             });
         }
 
         Ok(LotReport::new(plan.mask().clone(), devices)
             .with_stages(stages)
-            .with_budget(schedule.budget(), budget_exhausted))
+            .with_budget(schedule.budget(), budget_exhausted)
+            .with_stopping(schedule.stopping()))
+    }
+
+    /// The typed budget-below-screening error, both sides rounded **up**
+    /// to the next simulated millisecond — the same rounding, so a
+    /// sub-millisecond budget never reports as `0` and the displayed
+    /// pair never inverts the real comparison.
+    fn budget_error(needed: Seconds, budget: Seconds) -> NetanError {
+        NetanError::BudgetExhausted {
+            needed_ms: (needed.value() * 1000.0).ceil() as u64,
+            budget_ms: (budget.value() * 1000.0).ceil() as u64,
+        }
     }
 
     /// Shared up-front validation of a lot request: non-empty seeds,
-    /// non-empty grid, every grid frequency valid — all rejected before
-    /// calibration or any simulation.
+    /// non-empty grid, every grid frequency valid, every mask frequency
+    /// actually in the grid — all rejected before calibration or any
+    /// simulation.
     fn validate_lot(seeds: &[u64], plan: &LotPlan) -> Result<(), NetanError> {
         if seeds.is_empty() {
             return Err(NetanError::EmptyLot);
@@ -1116,6 +1342,22 @@ impl LotEngine {
         }
         for &f in plan.grid() {
             NetworkAnalyzer::validate_frequency(f)?;
+        }
+        // A grid that omits a mask frequency would only surface as a
+        // panic deep inside classification, devices into the run
+        // (`classify_plot`'s "measured by construction" expect).
+        // `LotPlan::new` always unions the mask into the grid; plans
+        // assembled any other way are rejected here, up front.
+        for mp in plan.mask().points() {
+            let measured = plan
+                .grid()
+                .iter()
+                .any(|f| f.value().to_bits() == mp.frequency.value().to_bits());
+            if !measured {
+                return Err(NetanError::MaskFrequencyMissing {
+                    hz_millis: (mp.frequency.value() * 1000.0) as i64,
+                });
+            }
         }
         Ok(())
     }
@@ -1131,6 +1373,12 @@ impl LotEngine {
         NetworkAnalyzer::new(&Bypass, config).calibrate()
     }
 
+    /// Measures one device at `config` and charges it
+    /// `charge_periods`-worth of acquisition per measured point — the
+    /// full `config.periods` for a fresh insertion, the period
+    /// increment for a [`StoppingPolicy::Sequential`] continuation.
+    /// `prior` is the device's per-stage charge history from earlier
+    /// stages; the new stage's charge is appended to it.
     #[allow(clippy::too_many_arguments)]
     fn characterize_device<D, F>(
         &self,
@@ -1140,7 +1388,8 @@ impl LotEngine {
         config: AnalyzerConfig,
         cal: Calibration,
         stage: usize,
-        prior_time: Seconds,
+        charge_periods: u32,
+        prior: &[Seconds],
     ) -> Result<DeviceReport, NetanError>
     where
         D: Dut,
@@ -1174,10 +1423,18 @@ impl LotEngine {
         let verdict = plan.classify_plot(plot.points());
         let fit = plot.fit_lowpass_biquad();
         // Actual measured points (a superset of the grid for adaptive
-        // plans), each one chopped acquisition at this stage's M.
+        // plans), each charged `charge_periods` of chopped acquisition —
+        // the whole stage `M` for a fresh insertion, the increment for a
+        // sequential continuation.
         let time = plot.points().iter().fold(Seconds(0.0), |acc, p| {
-            acc + measurement_time(config.periods, p.frequency)
+            acc + measurement_time(charge_periods, p.frequency)
         });
+        let mut stage_times = prior.to_vec();
+        stage_times.push(time);
+        // The cumulative spend continues the same left fold the prior
+        // stages accumulated, so stage sums, device sums and `spent`
+        // agree to the last bit.
+        let test_time = stage_times.iter().fold(Seconds(0.0), |acc, &t| acc + t);
         Ok(DeviceReport {
             seed,
             plot,
@@ -1185,7 +1442,8 @@ impl LotEngine {
             fit,
             stage,
             periods: config.periods,
-            test_time: prior_time + time,
+            test_time,
+            stage_times,
         })
     }
 }
@@ -1355,33 +1613,71 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_plan_rejected_for_escalation() {
-        // Regression: this used to be a documented panic; it is now a
-        // typed error, rejected before any simulation.
+    fn adaptive_plans_escalate_on_the_observed_ledger() {
+        // Regression: adaptive plans used to be rejected with a typed
+        // `AdaptivePlanUnsupported` because the projected ledger could
+        // not price device-dependent grids. The observed ledger charges
+        // actual measurement times, so both budgeted and unbudgeted
+        // escalation now run.
         let plan = LotPlan::adaptive(
             &[Hertz(300.0)],
             GainMask::paper_lowpass(),
             RefinementPolicy::new(0.5),
         );
-        let err = LotEngine::serial()
+        let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 120]);
+        let report = LotEngine::serial()
+            .run_escalated(paper_factory(0.09), &[0, 1, 2], &plan, &schedule)
+            .unwrap();
+        assert_eq!(report.len(), 3);
+        // Adaptive charges are device-dependent: no uniform stage cost.
+        assert!(report.stages().iter().all(|s| s.device_time.is_none()));
+        // Every stage's time is the fold of its devices' observed
+        // charges.
+        for s in report.stages() {
+            let fold = report
+                .devices()
+                .iter()
+                .filter(|d| d.stage_times.len() > s.stage)
+                .fold(Seconds(0.0), |acc, d| acc + d.stage_times[s.stage]);
+            assert_eq!(s.time.value().to_bits(), fold.value().to_bits());
+        }
+        // A generous budget admits everything and reports identically.
+        let budgeted = LotEngine::serial()
             .run_escalated(
-                paper_factory(0.0),
-                &[0],
+                paper_factory(0.09),
+                &[0, 1, 2],
                 &plan,
-                &EscalationSchedule::paper_default(),
+                &schedule.clone().with_budget(Seconds(1e6)),
             )
-            .unwrap_err();
-        assert_eq!(err, NetanError::AdaptivePlanUnsupported);
-        // The range entry point rejects identically.
+            .unwrap();
+        assert_eq!(budgeted.devices(), report.devices());
+        assert!(!budgeted.budget_exhausted());
+    }
+
+    #[test]
+    fn adaptive_budget_below_screening_is_a_typed_error() {
+        // The screening pass stays all-or-nothing; with an adaptive plan
+        // the check runs on the observed screening spend.
+        let plan = LotPlan::adaptive(
+            &[Hertz(300.0)],
+            GainMask::paper_lowpass(),
+            RefinementPolicy::new(0.5),
+        );
+        let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 120])
+            .with_budget(Seconds(1e-6));
         let err = LotEngine::serial()
-            .run_escalated_range(
-                paper_factory(0.0),
-                0..1,
-                &plan,
-                &EscalationSchedule::paper_default(),
-            )
+            .run_escalated(paper_factory(0.0), &[0, 1], &plan, &schedule)
             .unwrap_err();
-        assert_eq!(err, NetanError::AdaptivePlanUnsupported);
+        match err {
+            NetanError::BudgetExhausted {
+                needed_ms,
+                budget_ms,
+            } => {
+                assert!(needed_ms >= budget_ms);
+                assert_eq!(budget_ms, 1); // 1 µs budget rounds *up*, not to 0
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1555,10 +1851,195 @@ mod tests {
                 budget_ms,
             } => {
                 assert_eq!(needed_ms, (2.0 * c0 * 1000.0).ceil() as u64);
-                assert_eq!(budget_ms, (1.5 * c0 * 1000.0) as u64);
+                // Regression: `budget_ms` used to truncate while
+                // `needed_ms` ceiled; both now round up the same way.
+                assert_eq!(budget_ms, (1.5 * c0 * 1000.0).ceil() as u64);
             }
             other => panic!("expected BudgetExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budget_error_rounds_both_sides_up() {
+        // Regression for the inconsistent rounding at the error site: a
+        // 0.9 ms budget used to report as 0 ms, and a budget a hair
+        // under the need could display as needed > budget by a full
+        // millisecond. Both sides now ceil.
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let schedule = EscalationSchedule::from_periods(quick_config(), &[50, 100])
+            .with_budget(Seconds(0.0009));
+        let err = LotEngine::serial()
+            .run_escalated(paper_factory(0.0), &[0, 1], &plan, &schedule)
+            .unwrap_err();
+        match err {
+            NetanError::BudgetExhausted {
+                needed_ms,
+                budget_ms,
+            } => {
+                assert_eq!(budget_ms, 1, "sub-millisecond budget must not report as 0");
+                assert!(needed_ms >= budget_ms, "displayed pair must not invert");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // At the boundary — budget exactly the screening cost — the run
+        // is admitted, not rejected, so no inverted display can occur.
+        let c0 = schedule.device_stage_time(0, plan.grid());
+        let exact = (0..2).fold(Seconds(0.0), |acc, _| acc + c0);
+        let ok = LotEngine::serial()
+            .run_escalated(
+                paper_factory(0.0),
+                &[0, 1],
+                &plan,
+                &EscalationSchedule::from_periods(quick_config(), &[50, 100]).with_budget(exact),
+            )
+            .unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn grid_missing_a_mask_frequency_is_a_typed_error() {
+        // Regression: a plan whose grid does not cover its mask used to
+        // panic mid-lot at classification ("mask frequency measured by
+        // construction"). `LotPlan::new` always unions the mask into the
+        // grid, so build the broken plan directly, as a deserializer or
+        // future constructor might.
+        let plan = LotPlan {
+            grid: vec![Hertz(200.0), Hertz(500.0)],
+            mask: GainMask::paper_lowpass(), // needs 1 kHz and 10 kHz too
+            refinement: None,
+        };
+        let engine = LotEngine::serial();
+        let expected = NetanError::MaskFrequencyMissing {
+            hz_millis: 1_000_000,
+        };
+        assert_eq!(
+            engine
+                .run(paper_factory(0.0), &[0, 1], &plan, quick_config())
+                .unwrap_err(),
+            expected
+        );
+        // The escalated entry point rejects identically, before any
+        // simulation.
+        assert_eq!(
+            engine
+                .run_escalated(
+                    paper_factory(0.0),
+                    &[0, 1],
+                    &plan,
+                    &EscalationSchedule::paper_default(),
+                )
+                .unwrap_err(),
+            expected
+        );
+        // A well-formed plan over the same mask still runs.
+        let ok = LotPlan::new(&[Hertz(200.0), Hertz(500.0)], GainMask::paper_lowpass());
+        assert!(engine
+            .run(paper_factory(0.0), &[0], &ok, quick_config())
+            .is_ok());
+    }
+
+    #[test]
+    fn sequential_stopping_matches_staged_verdicts_and_spends_less() {
+        // Sequential stopping continues each device's acquisition, so
+        // verdicts, stages and plots bit-match the staged run while the
+        // charged spend is strictly smaller whenever anything escalates.
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds: Vec<u64> = (0..8).collect();
+        let staged = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 120, 480]);
+        let sequential = staged.clone().sequential();
+        assert_eq!(sequential.stopping(), StoppingPolicy::Sequential);
+        let engine = LotEngine::with_threads(3);
+        let a = engine
+            .run_escalated(paper_factory(0.09), &seeds, &plan, &staged)
+            .unwrap();
+        let b = engine
+            .run_escalated(paper_factory(0.09), &seeds, &plan, &sequential)
+            .unwrap();
+        assert_eq!(b.stopping(), StoppingPolicy::Sequential);
+        let escalated = a.stages().iter().skip(1).map(|s| s.tested).sum::<usize>();
+        assert!(escalated > 0, "σ=9% at M=30 must leave someone ambiguous");
+        for (da, db) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(da.verdict, db.verdict);
+            assert_eq!((da.stage, da.periods), (db.stage, db.periods));
+            assert_eq!(da.plot, db.plot);
+            if da.stage > 0 {
+                // The continued acquisition charges only the increments:
+                // cumulative spend equals the charge at the final M
+                // alone, which is strictly below the staged re-insertion
+                // total.
+                assert!(db.test_time.value() < da.test_time.value());
+            } else {
+                assert_eq!(
+                    da.test_time.value().to_bits(),
+                    db.test_time.value().to_bits()
+                );
+            }
+            assert_eq!(db.stage_times.len(), db.stage + 1);
+        }
+        assert!(b.spent().value() < a.spent().value());
+        // Charged periods across a device's walk telescope to the final
+        // stage's M.
+        assert_eq!(sequential.charged_periods(0), 30);
+        assert_eq!(sequential.charged_periods(1), 90);
+        assert_eq!(sequential.charged_periods(2), 360);
+        assert_eq!(staged.charged_periods(2), 480);
+    }
+
+    #[test]
+    fn sequential_budget_admits_in_seed_order_and_overshoots_at_most_once() {
+        // Observed-cost admission: re-tests are admitted while
+        // `spent < budget`; the final admitted re-test may overshoot by
+        // at most its own charge.
+        let plan = LotPlan::from_mask(GainMask::paper_lowpass());
+        let seeds: Vec<u64> = (0..8).collect();
+        let schedule =
+            EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 120]).sequential();
+        let free = LotEngine::serial()
+            .run_escalated(paper_factory(0.09), &seeds, &plan, &schedule)
+            .unwrap();
+        let ambiguous0 = free.stages()[0].counts.ambiguous;
+        assert!(ambiguous0 >= 2, "need at least two escalating devices");
+        let c0 = schedule.device_stage_charge(0, plan.grid());
+        let c1 = schedule.device_stage_charge(1, plan.grid());
+        let screen = (0..seeds.len()).fold(Seconds(0.0), |acc, _| acc + c0);
+        // Budget covers screening plus half of one re-test: exactly one
+        // re-test is admitted (spent < budget holds before it), and the
+        // ledger overshoots by half a charge.
+        let budget = Seconds(screen.value() + 0.5 * c1.value());
+        let capped = LotEngine::serial()
+            .run_escalated(
+                paper_factory(0.09),
+                &seeds,
+                &plan,
+                &schedule.clone().with_budget(budget),
+            )
+            .unwrap();
+        assert!(capped.budget_exhausted());
+        assert_eq!(capped.stages().len(), 2);
+        assert_eq!(capped.stages()[1].tested, 1);
+        // The admitted re-test is the lowest-seed ambiguous device.
+        let first_ambiguous = free
+            .devices()
+            .iter()
+            .position(|d| d.stage_times.len() > 1)
+            .unwrap();
+        assert_eq!(capped.devices()[first_ambiguous].stage, 1);
+        let spent = capped.spent().value();
+        assert!(spent > budget.value(), "admitted re-test overshoots");
+        assert!(
+            spent <= budget.value() + c1.value(),
+            "by at most one charge"
+        );
+        // Parallel admission replay lands on the same bytes.
+        let parallel = LotEngine::with_threads(4)
+            .run_escalated(
+                paper_factory(0.09),
+                &seeds,
+                &plan,
+                &schedule.with_budget(budget),
+            )
+            .unwrap();
+        assert_eq!(parallel, capped);
     }
 
     #[test]

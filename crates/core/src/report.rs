@@ -4,22 +4,23 @@
 //! JSON documents are hand-rendered (the workspace builds fully offline,
 //! so there is no serde) and self-describing via a `"schema"` field:
 //! `netan.bode.v2` for [`bode_json`] (v2 added the per-point `"round"`
-//! refinement provenance) and `netan.lot.v3` for [`lot_json`] (v2 added
+//! refinement provenance) and `netan.lot.v4` for [`lot_json`] (v2 added
 //! the escalation budget ledger, per-stage summaries and per-device
 //! stage provenance; v3 added the [`ShardSpan`] provenance and per-stage
-//! `device_time_s` that make shard merges and checkpoint resume exact);
-//! v1/v2 documents of both families remain readable, both by the
-//! `plot_report` consumer and by [`parse_lot_json`]. Numbers use Rust's
-//! shortest round-trip `f64` formatting; non-finite values render as
-//! `null`. Together those two facts make serialization lossless for
-//! every serialized field: re-rendering a parsed v3 document reproduces
-//! it byte for byte, which is what the
-//! [`checkpoint`](crate::checkpoint) driver's resume-equality guarantee
-//! rests on.
+//! `device_time_s` that make shard merges and checkpoint resume exact;
+//! v4 added the observed-cost provenance — the report-level `stopping`
+//! policy and per-device `stage_times_s` charges); v1–v3 documents of
+//! both families remain readable, both by the `plot_report` consumer
+//! and by [`parse_lot_json`]. Numbers use Rust's shortest round-trip
+//! `f64` formatting; non-finite values render as `null`. Together those
+//! two facts make serialization lossless for every serialized field:
+//! re-rendering a parsed v4 document reproduces it byte for byte, which
+//! is what the [`checkpoint`](crate::checkpoint) driver's
+//! resume-equality guarantee rests on.
 
 use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
-use crate::lot::{DeviceReport, LotReport, ShardSpan, StageSummary, VerdictCounts};
+use crate::lot::{DeviceReport, LotReport, ShardSpan, StageSummary, StoppingPolicy, VerdictCounts};
 use crate::spec::{GainMask, MaskPoint, SpecVerdict};
 use crate::sweep::{BodePlot, LowpassFit};
 use mixsig::units::{Hertz, Seconds};
@@ -97,7 +98,9 @@ fn verdict_str(v: SpecVerdict) -> &'static str {
 /// device (with its escalation stage, final `M` and cumulative simulated
 /// test time), the verdict histogram, the yield enclosure, and — when the
 /// run carried stage accounting — one summary line per executed stage
-/// plus the budget ledger. A report with shard provenance closes with a
+/// plus the budget ledger (prefixed by a `stopping: sequential` line
+/// when the run used per-device sequential stopping). A report with
+/// shard provenance closes with a
 /// `shard: seeds [start, end) — complete|incomplete` footer line.
 pub fn lot_table(report: &LotReport) -> String {
     let mut out = String::new();
@@ -144,6 +147,9 @@ pub fn lot_table(report: &LotReport) -> String {
         None => {
             let _ = writeln!(out, "yield: n/a (empty lot)");
         }
+    }
+    if report.stopping() == StoppingPolicy::Sequential {
+        let _ = writeln!(out, "stopping: sequential (per-device stage increments)");
     }
     for s in report.stages() {
         let _ = writeln!(
@@ -204,15 +210,17 @@ fn shard_cell(shard: Option<ShardSpan>) -> String {
 }
 
 /// Renders a lot report as CSV with a header row: one row per device,
-/// eleven columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q,
-/// cutoff_hz, worst_gain_err_db, stage, periods, test_time_s, shard` —
-/// `stage`/`periods`/`test_time_s` are the escalation provenance, stage
-/// 0 for plain runs; `shard` is the report's seed range, `start..end`,
+/// twelve columns (`seed, verdict, fit_gain, fit_f0_hz, fit_q,
+/// cutoff_hz, worst_gain_err_db, stage, periods, test_time_s,
+/// stage_times_s, shard` — `stage`/`periods`/`test_time_s` are the
+/// escalation provenance, stage 0 for plain runs; `stage_times_s` is
+/// the observed per-stage charge ledger, `;`-joined, empty for pre-v4
+/// documents; `shard` is the report's seed range, `start..end`,
 /// prefixed `~` when incomplete and empty when unknown); missing
 /// fit/cutoff fields render empty.
 pub fn lot_csv(report: &LotReport) -> String {
     let mut out = String::from(
-        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard\n",
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,stage_times_s,shard\n",
     );
     let shard = shard_cell(report.shard());
     for d in report.devices() {
@@ -235,9 +243,15 @@ pub fn lot_csv(report: &LotReport) -> String {
             .worst_gain_error_db()
             .map(|e| e.to_string())
             .unwrap_or_default();
+        let stage_times = d
+            .stage_times
+            .iter()
+            .map(|t| t.value().to_string())
+            .collect::<Vec<_>>()
+            .join(";");
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             d.seed,
             verdict_str(d.verdict),
             gain,
@@ -248,6 +262,7 @@ pub fn lot_csv(report: &LotReport) -> String {
             d.stage,
             d.periods,
             d.test_time.value(),
+            stage_times,
             shard,
         );
     }
@@ -318,17 +333,28 @@ fn json_counts(out: &mut String, c: &crate::lot::VerdictCounts) {
     );
 }
 
-/// Renders a lot report as a JSON document (schema `netan.lot.v3`): the
-/// shard provenance (`null` when unknown), the mask, the verdict
-/// histogram, the yield enclosure (`null` for an empty lot), the
-/// escalation budget ledger and per-stage summaries (v3 adds each
-/// stage's uniform `device_time_s`, `null` for adaptive plans), and
-/// per-device verdict + stage provenance + f0/Q fit + full point set.
-/// v1 documents (no `budget`/`stages`, no per-device provenance) and v2
-/// documents (no `shard`/`device_time_s`) remain readable, by the
+/// Renders a lot report as a JSON document (schema `netan.lot.v4`): the
+/// shard provenance (`null` when unknown), the stopping policy, the
+/// mask, the verdict histogram, the yield enclosure (`null` for an
+/// empty lot), the escalation budget ledger and per-stage summaries (v3
+/// adds each stage's uniform `device_time_s`, `null` for
+/// device-dependent charges), and per-device verdict, stage provenance,
+/// observed per-stage charges (`stage_times_s`, v4), f0/Q fit and full
+/// point set. v1 documents (no `budget`/`stages`, no per-device
+/// provenance), v2 documents (no `shard`/`device_time_s`) and v3
+/// documents (no `stopping`/`stage_times_s`) remain readable, by the
 /// `plot_report` consumer and by [`parse_lot_json`].
 pub fn lot_json(report: &LotReport) -> String {
-    let mut out = String::from("{\"schema\":\"netan.lot.v3\",\"shard\":");
+    let mut out = String::from("{\"schema\":\"netan.lot.v4\",\"stopping\":");
+    let _ = write!(
+        out,
+        "\"{}\"",
+        match report.stopping() {
+            StoppingPolicy::Staged => "staged",
+            StoppingPolicy::Sequential => "sequential",
+        }
+    );
+    out.push_str(",\"shard\":");
     match report.shard() {
         Some(s) => {
             let _ = write!(
@@ -408,6 +434,14 @@ pub fn lot_json(report: &LotReport) -> String {
             d.periods
         );
         json_f64(&mut out, d.test_time.value());
+        out.push_str(",\"stage_times_s\":[");
+        for (k, t) in d.stage_times.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            json_f64(&mut out, t.value());
+        }
+        out.push(']');
         out.push_str(",\"fit\":");
         match d.fit {
             Some(fit) => {
@@ -771,6 +805,13 @@ fn parse_device(d: &Json, version: u32) -> Result<DeviceReport, ReportParseError
     } else {
         (0, 0, Seconds(0.0))
     };
+    // Pre-v4 documents carry no observed per-stage charges.
+    let mut stage_times = Vec::new();
+    if version >= 4 {
+        for t in d.field("stage_times_s")?.as_arr()? {
+            stage_times.push(Seconds(t.as_f64()?));
+        }
+    }
     Ok(DeviceReport {
         seed: d.field("seed")?.as_int("seed")?,
         plot: BodePlot::new(points),
@@ -779,21 +820,23 @@ fn parse_device(d: &Json, version: u32) -> Result<DeviceReport, ReportParseError
         stage,
         periods,
         test_time,
+        stage_times,
     })
 }
 
-/// Parses a `netan.lot.v1`/`v2`/`v3` JSON document — the exact inverse
-/// of [`lot_json`] for every serialized field.
+/// Parses a `netan.lot.v1`/`v2`/`v3`/`v4` JSON document — the exact
+/// inverse of [`lot_json`] for every serialized field.
 ///
 /// Derived fields (`counts`, `yield`, `spent_s`, `cutoff_hz`) are
 /// recomputed, not read; combined with shortest-round-trip number
-/// formatting, re-rendering a parsed v3 document with [`lot_json`]
+/// formatting, re-rendering a parsed v4 document with [`lot_json`]
 /// reproduces it **byte for byte**. Fields a schema version predates
 /// load as their neutral values (v1: stage-0 provenance with `M = 0`
 /// and zero test time, no budget/stages; v2: no shard span, no
-/// per-stage `device_time_s`). The per-point linear `gain` enclosure is
-/// not serialized and is rebuilt from the dB enclosure; the f0/Q `fit`
-/// is parsed verbatim, never refitted.
+/// per-stage `device_time_s`; v3: staged stopping, empty per-device
+/// `stage_times_s`). The per-point linear `gain` enclosure is not
+/// serialized and is rebuilt from the dB enclosure; the f0/Q `fit` is
+/// parsed verbatim, never refitted.
 ///
 /// # Errors
 ///
@@ -816,9 +859,10 @@ pub fn parse_lot_json(text: &str) -> Result<LotReport, ReportParseError> {
         "netan.lot.v1" => 1,
         "netan.lot.v2" => 2,
         "netan.lot.v3" => 3,
+        "netan.lot.v4" => 4,
         other => {
             return Err(ReportParseError::doc(format!(
-                "unsupported schema {other:?} (expected netan.lot.v1/v2/v3)"
+                "unsupported schema {other:?} (expected netan.lot.v1/v2/v3/v4)"
             )));
         }
     };
@@ -875,6 +919,18 @@ pub fn parse_lot_json(text: &str) -> Result<LotReport, ReportParseError> {
                 complete: shard.field("complete")?.as_bool()?,
             });
         }
+    }
+    if version >= 4 {
+        let stopping = match doc.field("stopping")?.as_str()? {
+            "staged" => StoppingPolicy::Staged,
+            "sequential" => StoppingPolicy::Sequential,
+            other => {
+                return Err(ReportParseError::doc(format!(
+                    "unknown stopping policy {other:?}"
+                )));
+            }
+        };
+        report = report.with_stopping(stopping);
     }
     Ok(report)
 }
@@ -964,6 +1020,7 @@ mod tests {
             stage,
             periods,
             test_time: Seconds(0.25 * (stage + 1) as f64),
+            stage_times: vec![Seconds(0.25); stage + 1],
         };
         let fit = LowpassFit {
             gain: 1.0,
@@ -1040,18 +1097,19 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(
             lines[0],
-            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard"
+            "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,stage_times_s,shard"
         );
         for row in &lines[1..] {
-            assert_eq!(row.split(',').count(), 11, "row {row}");
+            assert_eq!(row.split(',').count(), 12, "row {row}");
         }
         // The fit-less device renders empty fit columns and carries its
         // stage-0 provenance in the trailing columns; no shard
         // provenance renders an empty trailing cell.
         assert!(lines[3].starts_with("2,fail,,,"));
-        assert!(lines[3].ends_with(",0,50,0.25,"));
-        // The escalated device reports stage 1 and its cumulative time.
-        assert!(lines[2].ends_with(",1,200,0.5,"));
+        assert!(lines[3].ends_with(",0,50,0.25,0.25,"));
+        // The escalated device reports stage 1, its cumulative time and
+        // the `;`-joined observed per-stage charges.
+        assert!(lines[2].ends_with(",1,200,0.5,0.25;0.25,"));
     }
 
     #[test]
@@ -1104,14 +1162,16 @@ mod tests {
     fn lot_json_points_carry_no_round_field() {
         // Lot points still omit the per-point adaptive provenance.
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v3\""));
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v4\""));
         assert!(!j.contains("\"round\":"));
     }
 
     #[test]
     fn lot_json_carries_mask_counts_stages_and_devices() {
         let j = lot_json(&synthetic_lot());
-        assert!(j.starts_with("{\"schema\":\"netan.lot.v3\",\"shard\":null,\"mask\":["));
+        assert!(j.starts_with(
+            "{\"schema\":\"netan.lot.v4\",\"stopping\":\"staged\",\"shard\":null,\"mask\":["
+        ));
         assert!(j.contains("\"counts\":{\"pass\":1,\"fail\":1,\"ambiguous\":1}"));
         assert!(j.contains("\"verdict\":\"ambiguous\""));
         assert!(j.contains("\"fit\":null"));
@@ -1128,6 +1188,8 @@ mod tests {
         assert!(j.contains(
             "\"seed\":1,\"verdict\":\"ambiguous\",\"stage\":1,\"periods\":200,\"test_time_s\":0.5"
         ));
+        // v4: observed per-stage charges ride along with each device.
+        assert!(j.contains("\"test_time_s\":0.5,\"stage_times_s\":[0.25,0.25]"));
         assert_eq!(j.matches("\"seed\":").count(), 3);
         // Balanced braces/brackets — a cheap well-formedness check.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
@@ -1169,6 +1231,7 @@ mod tests {
                 (p.stage, p.periods, p.test_time),
                 (d.stage, d.periods, d.test_time)
             );
+            assert_eq!(p.stage_times, d.stage_times);
             for (pp, dp) in p.plot.points().iter().zip(d.plot.points()) {
                 assert_eq!(pp.gain_db, dp.gain_db);
                 assert_eq!(pp.phase_deg, dp.phase_deg);
@@ -1198,6 +1261,38 @@ mod tests {
         assert_eq!(r.stages()[0].device_time, None);
         assert_eq!(r.devices()[0].periods, 50);
         assert_eq!(r.shard(), None);
+        // Pre-v4 documents load the neutral observed-cost provenance.
+        assert_eq!(r.stopping(), crate::lot::StoppingPolicy::Staged);
+        assert!(r.devices()[0].stage_times.is_empty());
+    }
+
+    #[test]
+    fn parse_lot_json_reads_v3_documents_with_neutral_v4_fields() {
+        // A v3 document is a v4 one minus `stopping`/`stage_times_s`.
+        let v3 = r#"{"schema":"netan.lot.v3","shard":{"seed_start":0,"seed_end":1,"complete":true},"mask":[],"counts":{"pass":0,"fail":0,"ambiguous":1},"yield":{"lo":0,"hi":1},"budget":{"limit_s":null,"spent_s":0.5,"exhausted":false},"stages":[{"stage":0,"periods":50,"tested":1,"time_s":0.5,"device_time_s":0.5,"counts":{"pass":0,"fail":0,"ambiguous":1}}],"devices":[{"seed":0,"verdict":"ambiguous","stage":0,"periods":50,"test_time_s":0.5,"fit":null,"cutoff_hz":null,"points":[]}]}"#;
+        let r = parse_lot_json(v3).expect("v3 parses");
+        assert_eq!(r.stopping(), crate::lot::StoppingPolicy::Staged);
+        assert!(r.devices()[0].stage_times.is_empty());
+        assert_eq!(r.stages()[0].device_time, Some(Seconds(0.5)));
+        assert_eq!(r.shard().map(|s| s.seed_end), Some(1));
+        // Re-rendering upgrades the document to v4 with the neutral
+        // fields made explicit.
+        let j = lot_json(&r);
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v4\",\"stopping\":\"staged\""));
+        assert!(j.contains("\"stage_times_s\":[]"));
+    }
+
+    #[test]
+    fn lot_json_sequential_stopping_round_trips() {
+        let report = synthetic_lot().with_stopping(crate::lot::StoppingPolicy::Sequential);
+        let j = lot_json(&report);
+        assert!(j.starts_with("{\"schema\":\"netan.lot.v4\",\"stopping\":\"sequential\""));
+        let parsed = parse_lot_json(&j).expect("own output parses");
+        assert_eq!(parsed.stopping(), crate::lot::StoppingPolicy::Sequential);
+        assert_eq!(lot_json(&parsed), j);
+        // The table names the policy only when it is the non-default.
+        assert!(lot_table(&report).contains("stopping: sequential"));
+        assert!(!lot_table(&synthetic_lot()).contains("stopping:"));
     }
 
     #[test]

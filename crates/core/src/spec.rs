@@ -39,10 +39,21 @@ pub struct MaskPoint {
 impl MaskPoint {
     /// Creates a mask point.
     ///
+    /// The frequency is validated here, at mask construction, rather
+    /// than deep inside a run: a non-positive or non-finite mask
+    /// frequency used to surface only once
+    /// [`measurement_time`](crate::plan::measurement_time) or the
+    /// analyzer's frequency validation hit it, devices into a lot.
+    ///
     /// # Panics
     ///
-    /// Panics if `min_db > max_db`.
+    /// Panics if `frequency` is not a positive finite value, or if
+    /// `min_db > max_db` (including either limit being NaN).
     pub fn new(frequency: Hertz, min_db: f64, max_db: f64) -> Self {
+        assert!(
+            frequency.value().is_finite() && frequency.value() > 0.0,
+            "mask frequency must be positive and finite, got {frequency}"
+        );
         assert!(min_db <= max_db, "mask limits inverted at {frequency}");
         Self {
             frequency,
@@ -52,8 +63,16 @@ impl MaskPoint {
     }
 
     /// Classifies a gain enclosure against this point's limits.
+    ///
+    /// A NaN anywhere in the enclosure (`lo`, `est` or `hi`) classifies
+    /// [`SpecVerdict::Ambiguous`], never `Pass`: NaN bounds carry no
+    /// evidence the response is inside the mask, and the conservative
+    /// verdict is the one that triggers a re-test instead of shipping
+    /// the device.
     pub fn classify(&self, gain_db: &Bounded) -> SpecVerdict {
-        if gain_db.lo >= self.min_db && gain_db.hi <= self.max_db {
+        if gain_db.lo.is_nan() || gain_db.est.is_nan() || gain_db.hi.is_nan() {
+            SpecVerdict::Ambiguous
+        } else if gain_db.lo >= self.min_db && gain_db.hi <= self.max_db {
             SpecVerdict::Pass
         } else if gain_db.hi < self.min_db || gain_db.lo > self.max_db {
             SpecVerdict::Fail
@@ -192,5 +211,61 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_limits_panic() {
         let _ = MaskPoint::new(Hertz(1.0), 1.0, -1.0);
+    }
+
+    // Regression: these used to be accepted and only blew up once
+    // `measurement_time`/frequency validation met the mask mid-run.
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_mask_frequency_panics_at_construction() {
+        let _ = MaskPoint::new(Hertz(0.0), -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn negative_mask_frequency_panics_at_construction() {
+        let _ = MaskPoint::new(Hertz(-100.0), -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn nan_mask_frequency_panics_at_construction() {
+        let _ = MaskPoint::new(Hertz(f64::NAN), -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn infinite_mask_frequency_panics_at_construction() {
+        let _ = MaskPoint::new(Hertz(f64::INFINITY), -1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn nan_mask_limit_panics_at_construction() {
+        let _ = MaskPoint::new(Hertz(1.0), f64::NAN, 1.0);
+    }
+
+    // Regression: a NaN enclosure must never classify `Pass`. An est-NaN
+    // enclosure with in-band bounds used to slip through as `Pass`.
+    #[test]
+    fn nan_enclosures_classify_ambiguous_never_pass() {
+        let p = MaskPoint::new(Hertz(1000.0), -4.0, -2.0);
+        let nan = f64::NAN;
+        // `Bounded::new` rejects NaN endpoints, but parsed documents and
+        // downstream arithmetic can still materialize them — build the
+        // enclosures directly.
+        let mk = |lo, est, hi| Bounded { lo, est, hi };
+        for b in [
+            mk(nan, -3.0, -2.8), // lo NaN
+            mk(-3.2, -3.0, nan), // hi NaN
+            mk(-3.2, nan, -2.8), // est NaN, bounds in-band
+            mk(nan, nan, nan),   // all NaN
+        ] {
+            assert_eq!(p.classify(&b), SpecVerdict::Ambiguous, "{b:?}");
+        }
+        // Infinities keep their directional meaning: an enclosure
+        // entirely below the mask still fails.
+        let below = Bounded::new(f64::NEG_INFINITY, -80.0, -10.0);
+        assert_eq!(p.classify(&below), SpecVerdict::Fail);
     }
 }

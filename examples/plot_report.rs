@@ -1,10 +1,11 @@
 //! Regenerates fig10-style gain/phase data from `netan.*` JSON report
 //! documents (the ROADMAP's plotting-script item). Reads `netan.bode.v1`,
 //! `netan.bode.v2` (v2 added the per-point adaptive-refinement `round`),
-//! and `netan.lot.v1` through `netan.lot.v3` (v2 added escalation stage
+//! and `netan.lot.v1` through `netan.lot.v4` (v2 added escalation stage
 //! summaries, per-device provenance and the budget ledger; v3 added
-//! shard provenance and per-device stage costs — the point rows this
-//! tool extracts are unchanged throughout).
+//! shard provenance and per-device stage costs; v4 added the stopping
+//! policy and observed per-stage charges — the point rows this tool
+//! extracts are unchanged throughout).
 //!
 //! ```sh
 //! # CSV from a saved report (bode or lot schema is auto-detected):
@@ -360,9 +361,9 @@ fn main() {
     let schema = doc.get("schema").and_then(Json::str).unwrap_or("");
     let csv = match schema {
         "netan.bode.v1" | "netan.bode.v2" => bode_csv(&doc),
-        "netan.lot.v1" | "netan.lot.v2" | "netan.lot.v3" => lot_csv_points(&doc),
+        "netan.lot.v1" | "netan.lot.v2" | "netan.lot.v3" | "netan.lot.v4" => lot_csv_points(&doc),
         other => {
-            panic!("unsupported schema {other:?} (expected netan.bode.v1/v2 or netan.lot.v1-v3)")
+            panic!("unsupported schema {other:?} (expected netan.bode.v1/v2 or netan.lot.v1-v4)")
         }
     };
     print!("{csv}");

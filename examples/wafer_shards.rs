@@ -9,7 +9,11 @@
 //! infrastructure, its own tester or host), and
 //! [`netan::LotReport::merge`] folds adjacent shards associatively. The
 //! punchline is asserted, not claimed: the merged document's
-//! `netan.lot.v3` JSON equals the single-run document byte for byte.
+//! `netan.lot.v4` JSON equals the single-run document byte for byte —
+//! for the plain run and for an unbudgeted escalated run under
+//! sequential stopping (each shard escalates its own devices; the
+//! merged stage summaries re-fold from the per-device observed
+//! charges).
 //!
 //! Run with: `cargo run --release --example wafer_shards`
 
@@ -81,6 +85,42 @@ fn main() -> Result<(), netan::NetanError> {
     print!("{}", lot_table(&merged));
 
     let head: String = merged_json.chars().take(120).collect();
-    println!("\nnetan.lot.v3 head: {head}…");
+    println!("\nnetan.lot.v4 head: {head}…");
+
+    // The same partition property holds for escalated screening with
+    // sequential stopping, as long as the schedule is unbudgeted (a
+    // budget gates re-tests on the global seed-order ledger, which a
+    // shard cannot see — budgeted lots shard through
+    // `netan::LotCheckpoint`, which threads the remainder itself).
+    let schedule =
+        netan::EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[50, 200]).sequential();
+    let esc_monolithic = engine.run_escalated_range(factory, 0..LOT_DEVICES, &plan, &schedule)?;
+    let esc_merged = (0..SHARDS)
+        .map(|i| {
+            engine.run_escalated_range(
+                factory,
+                i * per_shard..(i + 1) * per_shard,
+                &plan,
+                &schedule,
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .reduce(LotReport::merge)
+        .expect("at least one shard");
+    assert_eq!(
+        lot_json(&esc_merged),
+        lot_json(&esc_monolithic),
+        "merged escalated shards must reproduce the monolithic document byte for byte"
+    );
+    println!(
+        "escalated + sequential stopping shards merge byte-identically too \
+         ({} re-test(s), {:.3} s observed spend)",
+        esc_merged.stages()[1..]
+            .iter()
+            .map(|s| s.tested)
+            .sum::<usize>(),
+        esc_merged.spent().value(),
+    );
     Ok(())
 }

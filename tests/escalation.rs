@@ -87,17 +87,18 @@ fn parallel_escalated_matches_serial_with_seeded_cmos_noise() {
 
 #[test]
 fn budget_exhausted_early_stop_is_deterministic() {
-    // A budget that pays for the screening pass plus exactly one
-    // re-test: the engine must re-test the lowest-seed ambiguous device
-    // only, flag the exhaustion, and do so identically under any
-    // schedule.
+    // A budget that pays for the screening pass plus half a re-test:
+    // the observed-cost ledger admits the lowest-seed ambiguous device
+    // (re-tests are admitted while `spent < budget`, so the last one
+    // may overshoot by its own charge), denies the rest, flags the
+    // exhaustion, and does so identically under any schedule.
     let plan = paper_plan();
     let seeds: Vec<u64> = (0..6).collect();
     let factory = paper_factory(0.09);
     let free = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 90]);
     let c0 = free.device_stage_time(0, plan.grid()).value();
     let c1 = free.device_stage_time(1, plan.grid()).value();
-    let budget = Seconds(seeds.len() as f64 * c0 + 1.5 * c1);
+    let budget = Seconds(seeds.len() as f64 * c0 + 0.5 * c1);
     let schedule = free.clone().with_budget(budget);
 
     let serial = LotEngine::serial()
@@ -131,8 +132,9 @@ fn budget_exhausted_early_stop_is_deterministic() {
         .map(|d| d.seed)
         .unwrap();
     assert_eq!(escalated, vec![first_ambiguous]);
-    // Spent never exceeds the budget.
-    assert!(serial.spent().value() <= budget.value() + 1e-12);
+    // The admitted re-test overshoots the budget by at most its own
+    // observed charge — never more.
+    assert!(serial.spent().value() <= budget.value() + c1 + 1e-12);
 
     // The free-running schedule on the same lot re-tests every
     // ambiguous device — the budget is the only thing holding back.
@@ -192,26 +194,52 @@ fn lowest_index_device_error_wins_under_any_schedule() {
 }
 
 #[test]
-fn adaptive_plan_is_rejected_with_a_typed_error() {
-    // Regression: this used to be a documented panic. Escalating over an
-    // adaptive plan now fails up front with a typed error, for slices
-    // and ranges alike, before any device is simulated.
+fn adaptive_plan_escalates_on_the_observed_ledger() {
+    // Regression: escalating over an adaptive plan used to be rejected
+    // with a typed error (and before that, a documented panic). The
+    // observed-cost ledger charges each device's actual measurement
+    // time, so device-dependent adaptive grids now escalate — slices
+    // and ranges alike, serial bit-identical to parallel.
     let plan = LotPlan::adaptive(
         &[],
         GainMask::paper_lowpass(),
         netan::RefinementPolicy::default(),
     );
-    let schedule = EscalationSchedule::paper_default();
-    let factory = paper_factory(0.05);
-    let err = LotEngine::serial()
-        .run_escalated(&factory, &[0, 1], &plan, &schedule)
-        .unwrap_err();
-    assert_eq!(err, NetanError::AdaptivePlanUnsupported);
-    let err = LotEngine::serial()
-        .run_escalated_range(&factory, 0..2, &plan, &schedule)
-        .unwrap_err();
-    assert_eq!(err, NetanError::AdaptivePlanUnsupported);
-    assert!(err.to_string().contains("fixed-grid"));
+    let schedule = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 90]);
+    let factory = paper_factory(0.09);
+    let seeds: Vec<u64> = (0..4).collect();
+
+    let serial = LotEngine::serial()
+        .run_escalated(&factory, &seeds, &plan, &schedule)
+        .unwrap();
+    let parallel = LotEngine::with_threads(4)
+        .run_escalated(&factory, &seeds, &plan, &schedule)
+        .unwrap();
+    assert_eq!(serial, parallel);
+    assert!(
+        serial.stages().len() > 1,
+        "expected a re-test stage, got {:?}",
+        serial.stages()
+    );
+    // Adaptive grids are device-dependent: no uniform per-device stage
+    // cost, and each stage's time is exactly the seed-order fold of the
+    // devices' observed per-stage charges.
+    for (s, summary) in serial.stages().iter().enumerate() {
+        assert_eq!(summary.device_time, None);
+        let fold = serial
+            .devices()
+            .iter()
+            .filter(|d| d.stage_times.len() > s)
+            .fold(Seconds(0.0), |acc, d| acc + d.stage_times[s]);
+        assert_eq!(summary.time, fold);
+    }
+    // The range variant agrees device for device and stage for stage
+    // (it additionally attaches the shard span).
+    let ranged = LotEngine::serial()
+        .run_escalated_range(&factory, 0..4, &plan, &schedule)
+        .unwrap();
+    assert_eq!(ranged.devices(), serial.devices());
+    assert_eq!(ranged.stages(), serial.stages());
 }
 
 #[test]

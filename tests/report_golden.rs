@@ -9,11 +9,12 @@
 //! `UPDATE_GOLDEN=1 cargo test -p netan --test report_golden`.
 //! The structural tests below are platform-independent.
 //!
-//! `tests/fixtures/lot_small_v1.json` and `lot_small_v2.json` are the
-//! frozen `netan.lot.v1`/`netan.lot.v2` documents from before their
-//! respective schema bumps. They are never regenerated — they exist so
-//! the `plot_report` consumer and `netan::parse_lot_json` provably keep
-//! reading every schema version ever emitted.
+//! `tests/fixtures/lot_small_v1.json`, `lot_small_v2.json` and
+//! `lot_small_v3.json` are the frozen `netan.lot.v1`/`v2`/`v3`
+//! documents from before their respective schema bumps. They are never
+//! regenerated — they exist so the `plot_report` consumer and
+//! `netan::parse_lot_json` provably keep reading every schema version
+//! ever emitted.
 
 use dut::ActiveRcFilter;
 use mixsig::units::Seconds;
@@ -42,6 +43,11 @@ const V2_FIXTURE: &str = concat!(
     "/../../tests/fixtures/lot_small_v2.json"
 );
 
+const V3_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/lot_small_v3.json"
+);
+
 fn small_seeded_lot() -> LotReport {
     let plan = LotPlan::from_mask(GainMask::paper_lowpass());
     let seeds = [0u64, 1, 2, 3];
@@ -62,13 +68,16 @@ fn small_seeded_lot() -> LotReport {
 /// A seeded escalated lot whose budget pays for the screen plus some —
 /// not all — re-tests, so the fixture pins every v2 feature at once:
 /// stage summaries, per-device provenance, and an exhausted budget.
+/// (Half a re-test over the screening cost: the observed-cost ledger
+/// admits exactly one re-test — overshooting by its own charge — and
+/// denies the rest.)
 fn escalated_seeded_lot() -> LotReport {
     let plan = LotPlan::from_mask(GainMask::paper_lowpass());
     let seeds = [0u64, 1, 2, 3, 4, 5];
     let free = EscalationSchedule::from_periods(AnalyzerConfig::ideal(), &[30, 90]);
     let c0 = free.device_stage_time(0, plan.grid()).value();
     let c1 = free.device_stage_time(1, plan.grid()).value();
-    let schedule = free.with_budget(Seconds(seeds.len() as f64 * c0 + 1.5 * c1));
+    let schedule = free.with_budget(Seconds(seeds.len() as f64 * c0 + 0.5 * c1));
     LotEngine::serial()
         .run_escalated(
             |seed| {
@@ -109,9 +118,11 @@ fn escalated_lot_json_matches_golden_fixture() {
 #[test]
 fn lot_json_structure_is_well_formed() {
     let json = lot_json(&small_seeded_lot());
-    assert!(json.starts_with("{\"schema\":\"netan.lot.v3\","));
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v4\",\"stopping\":\"staged\","));
     assert!(json.ends_with("]}"));
     assert_eq!(json.matches("\"seed\":").count(), 4);
+    // v4: one observed per-stage charge array per device.
+    assert_eq!(json.matches("\"stage_times_s\":").count(), 4);
     // Seed-slice runs carry their span as shard provenance.
     assert!(json.contains("\"shard\":{\"seed_start\":0,\"seed_end\":4,\"complete\":true}"));
     // The mask plus 4 devices × 4 points each.
@@ -135,9 +146,10 @@ fn escalated_lot_json_structure_is_well_formed() {
     assert!(report.budget_exhausted());
     assert_eq!(report.stages().len(), 2);
     let json = lot_json(&report);
-    assert!(json.starts_with("{\"schema\":\"netan.lot.v3\","));
+    assert!(json.starts_with("{\"schema\":\"netan.lot.v4\","));
     assert!(json.contains("\"shard\":{\"seed_start\":0,\"seed_end\":6,\"complete\":true}"));
     assert_eq!(json.matches("\"seed\":").count(), 6);
+    assert_eq!(json.matches("\"stage_times_s\":").count(), 6);
     // Two stage summaries plus one provenance field per device.
     assert_eq!(json.matches("\"stage\":").count(), 2 + 6);
     assert_eq!(json.matches("\"device_time_s\":").count(), 2);
@@ -158,10 +170,10 @@ fn lot_csv_rows_and_columns_are_pinned() {
     assert_eq!(lines.len(), 1 + report.len());
     assert_eq!(
         lines[0],
-        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,shard"
+        "seed,verdict,fit_gain,fit_f0_hz,fit_q,cutoff_hz,worst_gain_err_db,stage,periods,test_time_s,stage_times_s,shard"
     );
     for (i, row) in lines[1..].iter().enumerate() {
-        assert_eq!(row.split(',').count(), 11, "row {row}");
+        assert_eq!(row.split(',').count(), 12, "row {row}");
         assert!(row.starts_with(&format!("{i},")), "row {row}");
         assert!(row.ends_with(",0..4"), "row {row}");
     }
@@ -180,7 +192,7 @@ fn bode_json_round_trips_the_device_plot() {
 
 #[test]
 fn parse_lot_json_round_trips_the_golden_fixtures() {
-    // The v3 parser re-renders its own documents byte for byte — the
+    // The v4 parser re-renders its own documents byte for byte — the
     // property checkpoint/resume leans on, proven here against the
     // blessed fixtures rather than a fresh in-memory report.
     for path in [FIXTURE, ESCALATED_FIXTURE] {
@@ -192,24 +204,31 @@ fn parse_lot_json_round_trips_the_golden_fixtures() {
 }
 
 #[test]
-fn parse_lot_json_reads_the_frozen_v1_and_v2_fixtures() {
+fn parse_lot_json_reads_the_frozen_v1_v2_and_v3_fixtures() {
     // Older documents parse (with their missing fields defaulted) and
-    // re-render as v3 — the upgrade path for saved reports.
-    for (path, devices) in [(V1_FIXTURE, 4), (V2_FIXTURE, 4)] {
+    // re-render as v4 — the upgrade path for saved reports.
+    for (path, devices) in [(V1_FIXTURE, 4), (V2_FIXTURE, 4), (V3_FIXTURE, 4)] {
         let golden = std::fs::read_to_string(path).unwrap();
         let report = parse_lot_json(&golden).unwrap_or_else(|e| panic!("{path}: {e}"));
         assert_eq!(report.len(), devices, "{path}");
-        assert!(report.shard().is_none(), "{path}");
-        assert!(lot_json(&report).starts_with("{\"schema\":\"netan.lot.v3\","));
+        assert!(lot_json(&report).starts_with("{\"schema\":\"netan.lot.v4\","));
+        // Pre-v4 documents carry no observed per-stage charges.
+        assert!(
+            report.devices().iter().all(|d| d.stage_times.is_empty()),
+            "{path}"
+        );
     }
-    // The v2 freeze and the live v3 fixture describe the same lot, so
-    // everything but the schema-versioned extras must agree.
-    let v2 = parse_lot_json(&std::fs::read_to_string(V2_FIXTURE).unwrap()).unwrap();
-    let v3 = parse_lot_json(&std::fs::read_to_string(FIXTURE).unwrap()).unwrap();
-    assert_eq!(v2.devices().len(), v3.devices().len());
-    for (a, b) in v2.devices().iter().zip(v3.devices()) {
+    // The v3 freeze and the live v4 fixture describe the same lot, so
+    // everything but the schema-versioned extras must agree — including
+    // the shard span the v3 schema already carried.
+    let v3 = parse_lot_json(&std::fs::read_to_string(V3_FIXTURE).unwrap()).unwrap();
+    let v4 = parse_lot_json(&std::fs::read_to_string(FIXTURE).unwrap()).unwrap();
+    assert_eq!(v3.devices().len(), v4.devices().len());
+    assert_eq!(v3.shard(), v4.shard());
+    for (a, b) in v3.devices().iter().zip(v4.devices()) {
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.test_time, b.test_time);
     }
 }
 
@@ -254,9 +273,18 @@ fn plot_report_still_consumes_schema_v2() {
 }
 
 #[test]
-fn plot_report_consumes_schema_v3() {
+fn plot_report_still_consumes_schema_v3() {
+    // Regression: the v4 bump must not orphan saved v3 documents.
+    let csv = plot_report_output(V3_FIXTURE);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 16, "unexpected row count:\n{csv}");
+    assert!(lines[0].starts_with("seed,verdict,freq_hz,"));
+}
+
+#[test]
+fn plot_report_consumes_schema_v4() {
     // The consumer reads what the sink now writes: same per-point rows,
-    // with the v3 shard/stage-cost extras ignored.
+    // with the v4 stopping/observed-charge extras ignored.
     let csv = plot_report_output(ESCALATED_FIXTURE);
     let lines: Vec<&str> = csv.lines().collect();
     assert_eq!(lines.len(), 1 + 6 * 4, "unexpected row count:\n{csv}");
