@@ -5,6 +5,11 @@
 //! through `fill_block`/`process_block` with fixed-size buffers. The two
 //! measurements are asserted bit-identical before any timing is printed.
 //!
+//! Also includes a Gaussian-synthesis microbench (per-call vs. batched
+//! `fill_gaussian`, plus the fast-math variant when that feature is
+//! compiled in), with the batched stream asserted bit-identical to the
+//! per-call stream before timing.
+//!
 //! Run with `cargo bench --bench point`; `cargo bench --bench point --
 //! --smoke` runs a reduced workload (CI exercises the bit-identity
 //! assertion under `--release` with it).
@@ -127,13 +132,17 @@ fn main() {
             label = w.label
         );
 
-        // The block path must actually pay on the full workload. Smoke
-        // mode only warns: its short runs on a contended CI runner are
-        // too noisy to gate on — there the bit-identity assert above is
-        // the signal.
-        if speedup <= 1.0 {
+        // Regression gate only. Since the per-sample path became a
+        // 1-sample `fill_block` (both paths share the batched internals
+        // end to end), the ratio hovers near 1.0 and differs mainly in
+        // source-chunking overhead, so "must be faster" would trip on
+        // machine noise. A clear slowdown still means the block plumbing
+        // broke. Smoke mode only warns: its short runs on a contended CI
+        // runner are too noisy to gate on — there the bit-identity
+        // assert above is the signal.
+        if speedup < 0.9 {
             let diagnosis = format!(
-                "block path no faster than per-sample on {} (per-sample {per_sample:?}, block {block:?})",
+                "block path clearly slower than per-sample on {} (per-sample {per_sample:?}, block {block:?})",
                 w.label
             );
             if smoke {
@@ -141,6 +150,30 @@ fn main() {
             } else {
                 panic!("{diagnosis}");
             }
+        }
+
+        // Opt-in fast-math variant of the same point (noisy profile
+        // only): polynomial noise kernels, deliberately *not*
+        // bit-identical — reported for the ratio, asserted nowhere.
+        #[cfg(feature = "fast-math")]
+        if w.cmos_seed.is_some() {
+            let clk = MasterClock::for_stimulus(Hertz(1000.0));
+            let gc = gen_config(w, clk).with_fast_math(true);
+            let mut ec = eval_config(w);
+            ec.sdm.fast_math = true;
+            let fast = best_of(reps, || {
+                let mut b = DemoBoard::new(gc.clone(), &dut);
+                b.warm_up(w.warmup as usize);
+                let mut evaluator = SinewaveEvaluator::new(ec.clone());
+                evaluator
+                    .measure_harmonic_blocks(&mut b, 1, w.periods)
+                    .expect("fast-math measurement failed")
+            });
+            println!(
+                "point_{mode}/{label}  fast-math  {fast:>12?}   ({:.2}x vs default block; not bit-identical by design)",
+                block.as_secs_f64() / fast.as_secs_f64().max(1e-12),
+                label = w.label
+            );
         }
     }
 
@@ -166,4 +199,77 @@ fn main() {
         "point_{mode}/calibration  with-dut {bypass_full:>12?}   dut-skipped {bypass_skip:>12?}   ({:.2}x)",
         bypass_full.as_secs_f64() / bypass_skip.as_secs_f64().max(1e-12)
     );
+
+    noise_microbench(smoke);
+}
+
+/// Gaussian-synthesis microbench: per-call vs. batched `fill_gaussian`
+/// (and, when compiled in, the opt-in fast-math kernels). Batched output
+/// is asserted bit-identical to the per-call stream before any timing.
+fn noise_microbench(smoke: bool) {
+    use criterion::{Criterion, Throughput};
+    use mixsig::noise::NoiseSource;
+
+    const BLOCK: usize = 4096;
+    let blocks = if smoke { 64 } else { 1024 };
+    let total = (BLOCK * blocks) as u64;
+
+    // Bit-identity gate: one batched block must reproduce the per-call
+    // stream draw for draw.
+    let mut per_call = NoiseSource::new(0xA5);
+    let mut batched = NoiseSource::new(0xA5);
+    let mut buf = vec![0.0; BLOCK];
+    batched.fill_gaussian(1.0, &mut buf);
+    for (i, &z) in buf.iter().enumerate() {
+        let reference = per_call.gaussian(1.0);
+        assert_eq!(
+            z.to_bits(),
+            reference.to_bits(),
+            "batched draw {i} diverged from the per-call stream"
+        );
+    }
+
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group(format!("noise_{}", if smoke { "smoke" } else { "full" }));
+    group
+        .sample_size(if smoke { 3 } else { 10 })
+        .throughput(Throughput::Elements(total));
+
+    let mut src = NoiseSource::new(1);
+    group.bench_function("gaussian_per_call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..total {
+                acc += src.gaussian(1.0);
+            }
+            acc
+        })
+    });
+
+    let mut src = NoiseSource::new(1);
+    let mut buf = vec![0.0; BLOCK];
+    group.bench_function("fill_gaussian_batched", |b| {
+        b.iter(|| {
+            for _ in 0..blocks {
+                src.fill_gaussian(1.0, &mut buf);
+            }
+            buf[BLOCK - 1]
+        })
+    });
+
+    #[cfg(feature = "fast-math")]
+    {
+        let mut src = NoiseSource::new(1).with_fast_math(true);
+        let mut buf = vec![0.0; BLOCK];
+        group.bench_function("fill_gaussian_fast_math", |b| {
+            b.iter(|| {
+                for _ in 0..blocks {
+                    src.fill_gaussian(1.0, &mut buf);
+                }
+                buf[BLOCK - 1]
+            })
+        });
+    }
+
+    group.finish();
 }

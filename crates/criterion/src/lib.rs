@@ -3,11 +3,15 @@
 //! The workspace builds fully offline, so the real criterion cannot be
 //! fetched from crates.io. This shim re-implements the small slice of its
 //! API that the `bench` crate uses — `Criterion::benchmark_group`,
-//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
-//! `Bencher::iter`, [`black_box`], and the [`criterion_group!`] /
-//! [`criterion_main!`] macros — backed by a plain wall-clock timer.
+//! `BenchmarkGroup::{sample_size, throughput, bench_function, finish}`,
+//! `Bencher::iter`, [`black_box`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a plain
+//! wall-clock timer.
 //!
-//! Reported statistics are median / min / max of per-sample wall time.
+//! Reported statistics are median / min / max of per-sample wall time;
+//! when a [`Throughput`] is set on the group, each benchmark line also
+//! reports median per-element (or per-byte) time and the corresponding
+//! rate, like the real criterion's throughput column.
 //! This is *not* a statistically rigorous benchmark harness; it exists so
 //! `cargo bench` produces comparable numbers without network access, and
 //! so the bench sources stay source-compatible with the real criterion.
@@ -19,6 +23,40 @@ use std::time::{Duration, Instant};
 /// Opaque hint preventing the optimizer from deleting a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// How much work one benchmark iteration performs, mirroring
+/// `criterion::Throughput`. Set on a group via
+/// [`BenchmarkGroup::throughput`]; applies to every subsequent
+/// [`BenchmarkGroup::bench_function`] on that group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (samples,
+    /// points, …). Reported as ns/elem and Melem/s.
+    Elements(u64),
+    /// One iteration processes this many bytes. Reported as ns/byte and
+    /// MiB/s.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Formats a per-iteration median duration as a throughput summary.
+    fn summarize(self, median: Duration) -> String {
+        let secs = median.as_secs_f64();
+        match self {
+            Throughput::Elements(n) if n > 0 && secs > 0.0 => {
+                let per = secs * 1e9 / n as f64;
+                let rate = n as f64 / secs / 1e6;
+                format!("   {per:>9.2} ns/elem   {rate:>9.2} Melem/s")
+            }
+            Throughput::Bytes(n) if n > 0 && secs > 0.0 => {
+                let per = secs * 1e9 / n as f64;
+                let rate = n as f64 / secs / (1024.0 * 1024.0);
+                format!("   {per:>9.2} ns/byte   {rate:>9.2} MiB/s")
+            }
+            _ => String::new(),
+        }
+    }
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -33,6 +71,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -43,6 +82,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'c mut Criterion,
 }
 
@@ -50,6 +90,13 @@ impl BenchmarkGroup<'_> {
     /// Sets how many timed samples each benchmark collects.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration of the following benchmarks
+    /// performs, enabling per-element / per-byte reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -72,8 +119,12 @@ impl BenchmarkGroup<'_> {
             .unwrap_or(Duration::ZERO);
         let min = samples.first().copied().unwrap_or(Duration::ZERO);
         let max = samples.last().copied().unwrap_or(Duration::ZERO);
+        let rate = self
+            .throughput
+            .map(|t| t.summarize(median))
+            .unwrap_or_default();
         println!(
-            "{}/{:<28} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            "{}/{:<28} median {:>12?}   min {:>12?}   max {:>12?}   ({} samples){rate}",
             self.name,
             id,
             median,
@@ -149,6 +200,32 @@ mod tests {
     #[test]
     fn black_box_is_identity() {
         assert_eq!(black_box(42), 42);
+    }
+
+    #[test]
+    fn throughput_group_still_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2).throughput(Throughput::Elements(1000));
+        let mut runs = 0usize;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3); // 1 warm-up + 2 samples
+    }
+
+    #[test]
+    fn throughput_summary_scales_by_work() {
+        let elems = Throughput::Elements(1_000).summarize(Duration::from_micros(1));
+        assert!(elems.contains("1.00 ns/elem"), "got {elems:?}");
+        assert!(elems.contains("Melem/s"), "got {elems:?}");
+        let bytes = Throughput::Bytes(1_048_576).summarize(Duration::from_secs(1));
+        assert!(bytes.contains("1.00 MiB/s"), "got {bytes:?}");
+        // Degenerate inputs must not divide by zero.
+        assert_eq!(
+            Throughput::Elements(0).summarize(Duration::from_secs(1)),
+            ""
+        );
+        assert_eq!(Throughput::Bytes(8).summarize(Duration::ZERO), "");
     }
 
     criterion_group!(demo_group, noop_bench);

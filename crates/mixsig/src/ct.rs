@@ -279,10 +279,6 @@ pub struct DiscreteStateSpace {
     state: Vec<f64>,
 }
 
-/// Largest system order the block stepper keeps on the stack; higher
-/// orders fall back to the per-sample path (still correct, just slower).
-const BLOCK_MAX_ORDER: usize = 8;
-
 impl DiscreteStateSpace {
     /// Advances one sample with held input `u`, returning the output.
     pub fn step(&mut self, u: f64) -> f64 {
@@ -298,10 +294,10 @@ impl DiscreteStateSpace {
     /// the batched equivalent of calling [`step`](Self::step) in a loop,
     /// bit-identical to it.
     ///
-    /// The coefficient matrices and the state vector are hoisted into
-    /// stack arrays once per block, so the hot loop runs allocation-free
-    /// over contiguous scalars (the per-sample path allocates two `Vec`s
-    /// per call inside `mul_vec`).
+    /// Orders 1 through 8 dispatch to a kernel monomorphized on the
+    /// order, so every inner loop has a compile-time trip count the
+    /// autovectorizer cannot miss (see
+    /// `process_block_n` for the layout).
     ///
     /// # Panics
     ///
@@ -312,45 +308,69 @@ impl DiscreteStateSpace {
             out.len(),
             "input and output blocks must have equal length"
         );
-        let n = self.state.len();
-        if n == 0 || n > BLOCK_MAX_ORDER {
-            for (y, &u) in out.iter_mut().zip(input) {
-                *y = self.step(u);
+        match self.state.len() {
+            1 => self.process_block_n::<1>(input, out),
+            2 => self.process_block_n::<2>(input, out),
+            3 => self.process_block_n::<3>(input, out),
+            4 => self.process_block_n::<4>(input, out),
+            5 => self.process_block_n::<5>(input, out),
+            6 => self.process_block_n::<6>(input, out),
+            7 => self.process_block_n::<7>(input, out),
+            8 => self.process_block_n::<8>(input, out),
+            // Order 0 (pure feedthrough) and anything beyond order 8
+            // take the per-sample path — still correct, just slower.
+            _ => {
+                for (y, &u) in out.iter_mut().zip(input) {
+                    *y = self.step(u);
+                }
             }
-            return;
         }
-        let mut ad = [[0.0f64; BLOCK_MAX_ORDER]; BLOCK_MAX_ORDER];
-        let mut bd = [0.0f64; BLOCK_MAX_ORDER];
-        let mut c = [0.0f64; BLOCK_MAX_ORDER];
-        for (i, row) in ad.iter_mut().enumerate().take(n) {
-            for (j, a) in row.iter_mut().enumerate().take(n) {
+    }
+
+    /// The block kernel for a compile-time order `N`.
+    ///
+    /// The state update runs column-major over a transposed `Ad`
+    /// (`adt[j][i] = Ad[i][j]`): the outer loop walks source states `j`,
+    /// the inner loop updates all `N` destination lanes — a fixed-width
+    /// loop the compiler turns into SIMD lanes. Each destination lane
+    /// still accumulates its products in ascending-`j` order from zero,
+    /// with `Bd·u` added last — exactly `mul_vec`'s left-to-right order —
+    /// so the vectorized path stays bit-identical to [`step`](Self::step).
+    fn process_block_n<const N: usize>(&mut self, input: &[f64], out: &mut [f64]) {
+        let mut adt = [[0.0f64; N]; N];
+        let mut bd = [0.0f64; N];
+        let mut c = [0.0f64; N];
+        for (j, row) in adt.iter_mut().enumerate() {
+            for (i, a) in row.iter_mut().enumerate() {
                 *a = self.ad[(i, j)];
             }
-            bd[i] = self.bd[(i, 0)];
-            c[i] = self.c[(0, i)];
+        }
+        for (i, (b, cv)) in bd.iter_mut().zip(c.iter_mut()).enumerate() {
+            *b = self.bd[(i, 0)];
+            *cv = self.c[(0, i)];
         }
         let d = self.d;
-        let mut x = [0.0f64; BLOCK_MAX_ORDER];
-        let mut x_next = [0.0f64; BLOCK_MAX_ORDER];
-        x[..n].copy_from_slice(&self.state);
+        let mut x = [0.0f64; N];
+        x.copy_from_slice(&self.state);
         for (y, &u) in out.iter_mut().zip(input) {
-            // Same accumulation order as `mul_vec` (left-to-right from
-            // zero), so the block path is bit-identical to `step`.
+            // Output row: same left-to-right reduction as `mul_vec`.
             let mut acc = 0.0;
-            for j in 0..n {
-                acc += c[j] * x[j];
+            for (cv, xv) in c.iter().zip(&x) {
+                acc += cv * xv;
             }
             *y = acc + d * u;
-            for (i, row) in ad.iter().enumerate().take(n) {
-                let mut ax = 0.0;
-                for j in 0..n {
-                    ax += row[j] * x[j];
+            let mut x_next = [0.0f64; N];
+            for (row, xj) in adt.iter().zip(&x) {
+                for (xn, a) in x_next.iter_mut().zip(row) {
+                    *xn += a * xj;
                 }
-                x_next[i] = ax + bd[i] * u;
             }
-            x[..n].copy_from_slice(&x_next[..n]);
+            for (xn, b) in x_next.iter_mut().zip(&bd) {
+                *xn += b * u;
+            }
+            x = x_next;
         }
-        self.state.copy_from_slice(&x[..n]);
+        self.state.copy_from_slice(&x);
     }
 
     /// Processes a whole record (compatibility wrapper over

@@ -16,9 +16,13 @@
 //! the op-amp swing. With [`OpAmpModel::ideal`] and
 //! [`NoiseSource::disabled`] the engine is an exact discrete integrator.
 
-use crate::noise::NoiseSource;
+use crate::noise::{ktc_noise_rms, NoiseSource};
 use crate::opamp::OpAmpModel;
 use crate::units::{Seconds, Volts};
+
+/// Most branches a [`ScStepPlan`] can hold (every SC stage in the paper
+/// has ≤ 3 input branches; 4 leaves headroom without heap allocation).
+pub const MAX_PLAN_BRANCHES: usize = 4;
 
 /// One switched input branch: a capacitor ratio and the voltage it samples
 /// this cycle (sign encodes the switching polarity).
@@ -108,6 +112,14 @@ impl ScIntegrator {
         &self.opamp
     }
 
+    /// Opts this integrator's `kT/C` noise source into the polynomial
+    /// fast-math refill kernels (see [`crate::noise`] module docs — breaks
+    /// bit-identity with the default stream; never enabled implicitly).
+    #[cfg(feature = "fast-math")]
+    pub fn set_fast_math(&mut self, enabled: bool) {
+        self.noise.set_fast_math(enabled);
+    }
+
     /// Advances one clock cycle with the given input branches; returns the
     /// new output voltage.
     pub fn step(&mut self, branches: &[Branch]) -> f64 {
@@ -145,6 +157,158 @@ impl ScIntegrator {
             .clamp_output(Volts(leak * self.vout + achieved))
             .value();
         self.vout
+    }
+
+    /// Precomputes a [`ScStepPlan`] for a fixed branch topology (the cap
+    /// ratios, with sign encoding the switching polarity).
+    ///
+    /// Every SC stage in the paper switches the *same* capacitors every
+    /// cycle — only the sampled voltages change — yet
+    /// [`step`](Self::step) rederives `ct`, `beta`, the leak, the static
+    /// gain factor, each branch's `kT/C` σ and the settling constants on
+    /// every call. The plan hoists all of them;
+    /// [`step_planned`](Self::step_planned) then replicates `step`'s
+    /// arithmetic operation for operation, so it is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_PLAN_BRANCHES`] cap ratios are given.
+    pub fn plan(&self, cap_ratios: &[f64]) -> ScStepPlan {
+        assert!(
+            cap_ratios.len() <= MAX_PLAN_BRANCHES,
+            "a step plan holds at most {MAX_PLAN_BRANCHES} branches, got {}",
+            cap_ratios.len()
+        );
+        let ct: f64 = cap_ratios.iter().map(|c| c.abs()).sum();
+        let beta = self.cf / (self.cf + ct);
+        let a0 = self.opamp.dc_gain;
+        let mut vgain = [0.0; MAX_PLAN_BRANCHES];
+        let mut sigma = [0.0; MAX_PLAN_BRANCHES];
+        let mut ngain = [0.0; MAX_PLAN_BRANCHES];
+        let mut noisy = [false; MAX_PLAN_BRANCHES];
+        for (i, &cap) in cap_ratios.iter().enumerate() {
+            vgain[i] = cap / self.cf;
+            let c_phys = cap.abs() * self.unit_cap_farads;
+            if c_phys > 0.0 {
+                noisy[i] = true;
+                sigma[i] = ktc_noise_rms(c_phys);
+                ngain[i] = cap.abs() / self.cf;
+            }
+        }
+        // Settling constants, hoisted from `OpAmpModel::settled_step` with
+        // the same expressions (`tau`/`v_lin` are only read when the slew
+        // rate is finite, mirroring the scalar control flow).
+        let slew_rate = self.opamp.slew_rate;
+        let tau = 1.0 / (2.0 * std::f64::consts::PI * beta * self.opamp.gbw.value());
+        ScStepPlan {
+            n: cap_ratios.len(),
+            vgain,
+            sigma,
+            ngain,
+            noisy,
+            leak: 1.0 - ct / (self.cf * a0),
+            mu: self.opamp.static_gain_factor(beta),
+            offset: self.opamp.offset.value(),
+            frac: self.opamp.settling_fraction(beta, self.settle_time),
+            slew_finite: slew_rate.is_finite(),
+            slew_rate,
+            tau,
+            v_lin: slew_rate * tau,
+            settle_time: self.settle_time.value(),
+        }
+    }
+
+    /// Advances one clock cycle using a precomputed plan; `voltages[i]` is
+    /// the voltage sampled by the plan's `i`-th branch this cycle.
+    /// Bit-identical to [`step`](Self::step) with the same cap ratios and
+    /// voltages (including the noise stream: the same draws happen in the
+    /// same order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len()` differs from the planned branch count.
+    #[inline]
+    pub fn step_planned(&mut self, plan: &ScStepPlan, voltages: &[f64]) -> f64 {
+        assert_eq!(
+            voltages.len(),
+            plan.n,
+            "voltage count must match the planned branch count"
+        );
+        let mut delta = 0.0;
+        for (i, &v) in voltages.iter().enumerate() {
+            delta += plan.vgain[i] * (v + plan.offset);
+            if plan.noisy[i] {
+                delta += self.noise.gaussian(plan.sigma[i]) * plan.ngain[i];
+            }
+        }
+        let compression = self.opamp.compression_factor(self.vout);
+        let achieved = plan.settled(plan.mu * compression * delta);
+        self.vout = self
+            .opamp
+            .clamp_output(Volts(plan.leak * self.vout + achieved))
+            .value();
+        self.vout
+    }
+}
+
+/// Hoisted per-step invariants of one [`ScIntegrator`] branch topology;
+/// built by [`ScIntegrator::plan`], consumed by
+/// [`ScIntegrator::step_planned`].
+///
+/// A plan is only valid for the integrator (and op-amp/settle-time
+/// configuration) that built it — it caches that integrator's constants.
+#[derive(Debug, Clone)]
+pub struct ScStepPlan {
+    n: usize,
+    /// Per branch: `cap/cf` (signed voltage gain).
+    vgain: [f64; MAX_PLAN_BRANCHES],
+    /// Per branch: `kT/C` rms of the physical capacitor (0 for zero caps).
+    sigma: [f64; MAX_PLAN_BRANCHES],
+    /// Per branch: `|cap|/cf` (noise gain to the output).
+    ngain: [f64; MAX_PLAN_BRANCHES],
+    /// Per branch: whether the physical capacitance is positive (zero-cap
+    /// branches draw no noise — and must not consume a buffered normal).
+    noisy: [bool; MAX_PLAN_BRANCHES],
+    leak: f64,
+    mu: f64,
+    offset: f64,
+    /// `settling_fraction(beta, settle_time)` of the linear regime.
+    frac: f64,
+    slew_finite: bool,
+    slew_rate: f64,
+    /// Closed-loop time constant `1/(2π·β·GBW)` (only read when slewing).
+    tau: f64,
+    /// Linear-region boundary `SR·τ` (only read when slewing).
+    v_lin: f64,
+    settle_time: f64,
+}
+
+impl ScStepPlan {
+    /// Number of branches the plan was built for.
+    pub fn branches(&self) -> usize {
+        self.n
+    }
+
+    /// Replica of [`OpAmpModel::settled_step`] over the hoisted constants
+    /// — the same branch structure and floating-point expressions, so the
+    /// result is bit-identical.
+    #[inline]
+    fn settled(&self, step: f64) -> f64 {
+        let magnitude = step.abs();
+        if magnitude == 0.0 {
+            return 0.0;
+        }
+        let sign = step.signum();
+        if !self.slew_finite || magnitude <= self.v_lin {
+            return sign * magnitude * self.frac;
+        }
+        let t_slew = (magnitude - self.v_lin) / self.slew_rate;
+        if t_slew >= self.settle_time {
+            return sign * self.slew_rate * self.settle_time;
+        }
+        let t_lin = self.settle_time - t_slew;
+        let remaining = self.v_lin * (-t_lin / self.tau).exp();
+        sign * (magnitude - remaining)
     }
 }
 
@@ -260,5 +424,81 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cf_rejected() {
         let _ = ScIntegrator::ideal(0.0);
+    }
+
+    /// Drives `step` and `step_planned` over the same voltage sequence on
+    /// clones of `int` and demands bit-identical outputs and noise-stream
+    /// alignment afterwards.
+    fn assert_plan_matches_step(label: &str, int: &ScIntegrator, caps: &[f64]) {
+        let mut by_step = int.clone();
+        let mut by_plan = int.clone();
+        let plan = by_plan.plan(caps);
+        assert_eq!(plan.branches(), caps.len());
+        let mut voltages = vec![0.0; caps.len()];
+        for k in 0..1000 {
+            for (j, v) in voltages.iter_mut().enumerate() {
+                *v = 0.4 * ((k * 7 + j * 3) as f64 * 0.13).sin();
+            }
+            let branches: Vec<Branch> = caps
+                .iter()
+                .zip(&voltages)
+                .map(|(&c, &v)| Branch::new(c, v))
+                .collect();
+            let want = by_step.step(&branches);
+            let got = by_plan.step_planned(&plan, &voltages);
+            assert_eq!(want, got, "{label}: step {k} diverged");
+        }
+    }
+
+    #[test]
+    fn planned_step_is_bit_identical_to_step() {
+        let caps: &[f64] = &[0.4, -0.4, 0.4];
+        assert_plan_matches_step("ideal", &ScIntegrator::ideal(1.0), caps);
+        let cmos = ScIntegrator::new(
+            1.0,
+            1.0e-12,
+            OpAmpModel::folded_cascode_035um(),
+            Seconds(80.0e-9),
+            NoiseSource::new(17),
+        );
+        assert_plan_matches_step("cmos noisy", &cmos, caps);
+        let offset = ScIntegrator::new(
+            2.0,
+            1.0e-12,
+            OpAmpModel::folded_cascode_035um().with_offset(Volts(0.003)),
+            Seconds(80.0e-9),
+            NoiseSource::new(4),
+        );
+        assert_plan_matches_step("offset", &offset, &[1.0, -2.574]);
+    }
+
+    #[test]
+    fn planned_step_skips_noise_on_zero_cap_branches() {
+        // A zero cap draws no kT/C charge in `step`; the planned path must
+        // not consume a buffered normal for it either, or the streams
+        // de-align (the generator's sequencer steps 0 and 8 hit this).
+        let int = ScIntegrator::new(
+            5.194,
+            1.0e-12,
+            OpAmpModel::folded_cascode_035um(),
+            Seconds(80.0e-9),
+            NoiseSource::new(9),
+        );
+        assert_plan_matches_step("zero-cap branch", &int, &[0.0, -2.574]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the planned branch count")]
+    fn planned_step_rejects_wrong_voltage_count() {
+        let mut int = ScIntegrator::ideal(1.0);
+        let plan = int.plan(&[1.0, -1.0]);
+        let _ = int.step_planned(&plan, &[0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn plan_rejects_too_many_branches() {
+        let int = ScIntegrator::ideal(1.0);
+        let _ = int.plan(&[1.0; MAX_PLAN_BRANCHES + 1]);
     }
 }

@@ -21,7 +21,7 @@
 
 use mixsig::noise::NoiseSource;
 use mixsig::opamp::OpAmpModel;
-use mixsig::sc::{Branch, ScIntegrator};
+use mixsig::sc::{Branch, ScIntegrator, ScStepPlan};
 use mixsig::units::{Seconds, Volts};
 
 /// The paper's integrator capacitor ratio `CI/CF = 0.4`.
@@ -86,6 +86,11 @@ pub struct SdmConfig {
     pub seed: u64,
     /// Whether stochastic noise is injected.
     pub noise: bool,
+    /// Opt-in polynomial fast-math noise kernels for the `kT/C` and
+    /// comparator noise streams. Only effective when the `fast-math` crate
+    /// feature is compiled in; breaks bit-identity with the default stream
+    /// — see `mixsig::noise`.
+    pub fast_math: bool,
 }
 
 impl SdmConfig {
@@ -99,6 +104,7 @@ impl SdmConfig {
             settle_time: Seconds(80.0e-9),
             seed: 0,
             noise: false,
+            fast_math: false,
         }
     }
 
@@ -127,6 +133,7 @@ impl SdmConfig {
             settle_time: Seconds(80.0e-9),
             seed,
             noise: true,
+            fast_math: false,
         }
     }
 
@@ -134,6 +141,14 @@ impl SdmConfig {
     #[must_use]
     pub fn with_vref(mut self, vref: Volts) -> Self {
         self.vref = vref;
+        self
+    }
+
+    /// Returns the configuration with the fast-math flag set (no effect
+    /// unless the `fast-math` crate feature is compiled in).
+    #[must_use]
+    pub fn with_fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
         self
     }
 }
@@ -146,6 +161,11 @@ pub struct SigmaDeltaModulator {
     comparator_noise: NoiseSource,
     last_bit: bool,
     input_offset: f64,
+    /// Hoisted step plans for the two input polarities (`q` true/false) —
+    /// the branch topology is fixed per polarity, only the sampled
+    /// voltages change cycle to cycle.
+    plan_pos: ScStepPlan,
+    plan_neg: ScStepPlan,
 }
 
 impl SigmaDeltaModulator {
@@ -165,19 +185,31 @@ impl SigmaDeltaModulator {
         } else {
             NoiseSource::disabled()
         };
+        #[cfg(feature = "fast-math")]
+        let (noise, comparator_noise) = (
+            noise.with_fast_math(config.fast_math),
+            comparator_noise.with_fast_math(config.fast_math),
+        );
         // Input-referred offset charges both the input and DAC branches.
         let input_offset = 2.0 * config.opamp.offset.value();
+        let integrator = ScIntegrator::new(
+            1.0,
+            config.unit_cap_farads,
+            opamp_for_integrator,
+            config.settle_time,
+            noise,
+        );
+        // Branch topology of `step` for each `q` polarity: sampled input,
+        // DAC feedback, fixed-polarity offset branch.
+        let plan_pos = integrator.plan(&[CI_OVER_CF, -CI_OVER_CF, CI_OVER_CF]);
+        let plan_neg = integrator.plan(&[-CI_OVER_CF, -CI_OVER_CF, CI_OVER_CF]);
         Self {
-            integrator: ScIntegrator::new(
-                1.0,
-                config.unit_cap_farads,
-                opamp_for_integrator,
-                config.settle_time,
-                noise,
-            ),
+            integrator,
             comparator_noise,
             last_bit: false,
             input_offset,
+            plan_pos,
+            plan_neg,
             config,
         }
     }
@@ -222,9 +254,11 @@ impl SigmaDeltaModulator {
     /// Processes a whole block: one master-clock cycle per `(x, q)` pair,
     /// accumulating the bitstream as a signed count (`+1` per high bit,
     /// `−1` per low bit) — exactly what the signature counters integrate.
-    /// Bit-identical to calling [`step`](Self::step) in a loop; the loop
-    /// body stays branch-light (the only data-dependent branches are the
-    /// 1-bit quantizer decisions themselves).
+    /// Bit-identical to calling [`step`](Self::step) in a loop (the
+    /// reference path), but runs on the hoisted per-polarity
+    /// [`ScStepPlan`]s: the comparator constants and all integrator
+    /// per-step invariants are computed once per modulator instead of once
+    /// per cycle, and the kT/C draws come from the batched noise buffer.
     ///
     /// # Panics
     ///
@@ -235,9 +269,25 @@ impl SigmaDeltaModulator {
             q.len(),
             "sample and polarity blocks must have equal length"
         );
+        let cmp_offset = self.config.comparator.offset.value();
+        let noise_rms = self.config.comparator.noise_rms.value();
+        let hysteresis = self.config.comparator.hysteresis.value();
+        let vref = self.config.vref.value();
         let mut acc = 0i64;
         for (&xi, &qi) in x.iter().zip(q) {
-            acc += if self.step(xi, qi) { 1 } else { -1 };
+            // Latch decision on the previous integrator state — the same
+            // expression shape as `step` (sum, noise draw, then the signed
+            // hysteresis term subtracted).
+            let hyst_sign = if self.last_bit { 1.0 } else { -1.0 };
+            let threshold =
+                cmp_offset + self.comparator_noise.gaussian(noise_rms) - hyst_sign * hysteresis;
+            let bit = self.integrator.output() >= threshold;
+            let d_sign = if bit { 1.0 } else { -1.0 };
+            let plan = if qi { &self.plan_pos } else { &self.plan_neg };
+            self.integrator
+                .step_planned(plan, &[xi, d_sign * vref, self.input_offset]);
+            self.last_bit = bit;
+            acc += if bit { 1 } else { -1 };
         }
         acc
     }

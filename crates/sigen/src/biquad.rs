@@ -10,8 +10,32 @@ use dsp::Complex64;
 use mixsig::mismatch::{CapacitorLot, MatchingSpec};
 use mixsig::noise::NoiseSource;
 use mixsig::opamp::OpAmpModel;
-use mixsig::sc::{Branch, ScIntegrator};
+use mixsig::sc::{Branch, ScIntegrator, ScStepPlan};
 use mixsig::units::Seconds;
+
+/// Hoisted [`ScStepPlan`]s for the biquad's transfer loop: one first-
+/// integrator plan per input capacitor (the sequencer revisits the same
+/// 16 fabricated staircase weights every period) plus the second
+/// integrator's single fixed topology. Built by
+/// [`GeneratorBiquad::plan_transfers`], consumed by
+/// [`GeneratorBiquad::transfer_planned`].
+#[derive(Debug, Clone)]
+pub struct TransferPlans {
+    int1: Vec<ScStepPlan>,
+    int2: ScStepPlan,
+}
+
+impl TransferPlans {
+    /// Number of planned input-capacitor slots.
+    pub fn len(&self) -> usize {
+        self.int1.len()
+    }
+
+    /// Whether no input-capacitor slots were planned.
+    pub fn is_empty(&self) -> bool {
+        self.int1.is_empty()
+    }
+}
 
 /// The normalized capacitor values of paper Table I.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +152,15 @@ impl GeneratorBiquad {
         self.caps
     }
 
+    /// Opts both integrators' `kT/C` noise sources into the polynomial
+    /// fast-math refill kernels (breaks bit-identity with the default
+    /// stream; see `mixsig::noise` — never enabled implicitly).
+    #[cfg(feature = "fast-math")]
+    pub fn set_fast_math(&mut self, enabled: bool) {
+        self.int1.set_fast_math(enabled);
+        self.int2.set_fast_math(enabled);
+    }
+
     /// Output voltage (second integrator).
     pub fn output(&self) -> f64 {
         self.int2.output()
@@ -151,6 +184,37 @@ impl GeneratorBiquad {
             Branch::new(self.caps.c, v1),
             Branch::new(-self.caps.f, v2_prev),
         ])
+    }
+
+    /// Precomputes transfer plans for a fixed menu of input capacitors
+    /// (index `i` of the result serves `transfer_planned(plans, i, ·)`).
+    ///
+    /// The plans cache this biquad's fabricated capacitors and op-amp
+    /// constants; rebuild them if the biquad is replaced.
+    pub fn plan_transfers(&self, input_caps: &[f64]) -> TransferPlans {
+        TransferPlans {
+            int1: input_caps
+                .iter()
+                .map(|&w| self.int1.plan(&[w, -self.caps.d]))
+                .collect(),
+            int2: self.int2.plan(&[self.caps.c, -self.caps.f]),
+        }
+    }
+
+    /// One charge transfer through precomputed plans — bit-identical to
+    /// [`transfer`](Self::transfer) with the input capacitor that slot
+    /// `cap_index` was planned for (same arithmetic, same noise draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_index` is out of range for `plans`.
+    #[inline]
+    pub fn transfer_planned(&mut self, plans: &TransferPlans, cap_index: usize, vin: f64) -> f64 {
+        let v2_prev = self.int2.output();
+        let v1 = self
+            .int1
+            .step_planned(&plans.int1[cap_index], &[vin, v2_prev]);
+        self.int2.step_planned(&plans.int2, &[v1, v2_prev])
     }
 
     /// The ideal frequency response per unit input capacitor at a
@@ -280,6 +344,41 @@ mod tests {
             late_peak < early_peak / 100.0,
             "{late_peak} vs {early_peak}"
         );
+    }
+
+    #[test]
+    fn planned_transfer_is_bit_identical_to_transfer() {
+        // Ideal and fabricated-noisy loops, over a weight menu including a
+        // zero cap (sequencer steps 0 and 8): the planned path must track
+        // the scalar reference bit-for-bit, noise stream included.
+        let mk_noisy = || {
+            let mut fab = NoiseSource::new(13);
+            GeneratorBiquad::fabricate(
+                MatchingSpec::typical_035um(),
+                OpAmpModel::folded_cascode_035um(),
+                Seconds(40.0e-9),
+                1.0e-12,
+                &mut fab,
+            )
+        };
+        for (label, mk) in [
+            ("ideal", GeneratorBiquad::ideal as fn() -> GeneratorBiquad),
+            ("fabricated noisy", mk_noisy as fn() -> GeneratorBiquad),
+        ] {
+            let caps = [0.0, 0.35, -0.35, 1.0];
+            let mut by_scalar = mk();
+            let mut by_plan = mk();
+            let plans = by_plan.plan_transfers(&caps);
+            assert_eq!(plans.len(), caps.len());
+            assert!(!plans.is_empty());
+            for k in 0..2000usize {
+                let i = k % caps.len();
+                let vin = 0.15 * (k as f64 * 0.21).sin();
+                let want = by_scalar.transfer(caps[i], vin);
+                let got = by_plan.transfer_planned(&plans, i, vin);
+                assert_eq!(want, got, "{label}: transfer {k} diverged");
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The complete sinewave generator: sequencer + capacitor array + biquad.
 
 use crate::array::CapacitorArray;
-use crate::biquad::GeneratorBiquad;
-use crate::sequencer::{StepSequencer, TRANSFERS_PER_PERIOD};
+use crate::biquad::{GeneratorBiquad, TransferPlans};
+use crate::sequencer::{StepSequencer, STEPS_PER_PERIOD, TRANSFERS_PER_PERIOD};
 use mixsig::clock::{MasterClock, OVERSAMPLING_RATIO};
 use mixsig::mismatch::MatchingSpec;
 use mixsig::noise::NoiseSource;
@@ -30,6 +30,12 @@ pub struct GeneratorConfig {
     pub seed: u64,
     /// Whether stochastic noise is injected.
     pub noise: bool,
+    /// Opt-in polynomial fast-math noise kernels for the circuit noise
+    /// streams (fabrication mismatch draws stay on the exact path either
+    /// way). Only effective when the `fast-math` crate feature is compiled
+    /// in; breaks bit-identity with the default stream — see
+    /// `mixsig::noise`.
+    pub fast_math: bool,
 }
 
 impl GeneratorConfig {
@@ -43,6 +49,7 @@ impl GeneratorConfig {
             unit_cap_farads: 1.0e-12,
             seed: 0,
             noise: false,
+            fast_math: false,
         }
     }
 
@@ -58,6 +65,7 @@ impl GeneratorConfig {
             unit_cap_farads: 1.0e-12,
             seed,
             noise: true,
+            fast_math: false,
         }
     }
 
@@ -65,6 +73,14 @@ impl GeneratorConfig {
     #[must_use]
     pub fn with_va_diff(mut self, va_diff: Volts) -> Self {
         self.va_diff = va_diff;
+        self
+    }
+
+    /// Returns the configuration with the fast-math flag set (no effect
+    /// unless the `fast-math` crate feature is compiled in).
+    #[must_use]
+    pub fn with_fast_math(mut self, fast_math: bool) -> Self {
+        self.fast_math = fast_math;
         self
     }
 
@@ -86,6 +102,11 @@ pub struct SinewaveGenerator {
     config: GeneratorConfig,
     array: CapacitorArray,
     biquad: GeneratorBiquad,
+    /// One hoisted transfer plan per sequencer step: the fabricated
+    /// staircase weights are fixed after construction, so the biquad's
+    /// per-transfer invariants are computed once here instead of on every
+    /// charge transfer.
+    plans: TransferPlans,
     sequencer: StepSequencer,
     held: f64,
     hold_phase: usize,
@@ -120,10 +141,21 @@ impl SinewaveGenerator {
                 &mut circuit_noise,
             )
         };
+        let weights: Vec<f64> = (0..STEPS_PER_PERIOD)
+            .map(|j| array.step_weight(j))
+            .collect();
+        let plans = biquad.plan_transfers(&weights);
+        #[cfg(feature = "fast-math")]
+        let biquad = {
+            let mut biquad = biquad;
+            biquad.set_fast_math(config.fast_math);
+            biquad
+        };
         Self {
             config,
             array,
             biquad,
+            plans,
             sequencer: StepSequencer::new(),
             held: 0.0,
             hold_phase: 0,
@@ -152,7 +184,10 @@ impl SinewaveGenerator {
         // `amplitude_gain()` which already includes the factor 2.
     }
 
-    /// Advances one biquad charge transfer (rate `2·f_gen = f_eva/3`).
+    /// Advances one biquad charge transfer (rate `2·f_gen = f_eva/3`)
+    /// through the scalar [`GeneratorBiquad::transfer`] reference path —
+    /// bit-identical to the planned path [`fill_block`](Self::fill_block)
+    /// uses (asserted by the sigen test suite).
     pub fn next_transfer(&mut self) -> f64 {
         let j = self.sequencer.tick_half();
         let w = self.array.step_weight(j);
@@ -163,10 +198,18 @@ impl SinewaveGenerator {
     /// master-clock rate `f_eva` (each biquad output held for
     /// [`HOLD_SAMPLES`] samples) — the batched equivalent of calling
     /// [`next_sample`](Self::next_sample) in a loop, bit-identical to it.
+    ///
+    /// Transfers run through the per-step [`TransferPlans`] cached at
+    /// construction (same arithmetic and noise draws as
+    /// [`next_transfer`](Self::next_transfer), with the per-transfer
+    /// invariants hoisted).
     pub fn fill_block(&mut self, out: &mut [f64]) {
         for y in out.iter_mut() {
             if self.hold_phase == 0 {
-                self.held = self.next_transfer();
+                let j = self.sequencer.tick_half();
+                self.held =
+                    self.biquad
+                        .transfer_planned(&self.plans, j, self.config.va_diff.value());
             }
             self.hold_phase = (self.hold_phase + 1) % HOLD_SAMPLES;
             *y = self.held;
@@ -299,6 +342,34 @@ mod tests {
             // Uneven chunks land mid-hold, exercising the hold carry.
             for chunk in got.chunks_mut(11) {
                 by_block.fill_block(chunk);
+            }
+            assert_eq!(want, got);
+        }
+    }
+
+    #[test]
+    fn fill_block_matches_unplanned_transfer_loop() {
+        // `fill_block` runs on cached TransferPlans; `next_transfer` is
+        // the scalar reference. Replicating the hold logic over the
+        // reference must reproduce the block output bit-for-bit, for the
+        // ideal and the noisy fabricated generator.
+        let clk = MasterClock::from_hz(6.0e6);
+        for cfg in [
+            GeneratorConfig::ideal(clk, Volts(0.2)),
+            GeneratorConfig::cmos_035um(clk, Volts(0.2), 11),
+        ] {
+            let mut by_plan = SinewaveGenerator::new(cfg.clone());
+            let mut by_scalar = SinewaveGenerator::new(cfg);
+            let n = 96 * 5 + 7;
+            let mut got = vec![0.0; n];
+            by_plan.fill_block(&mut got);
+            let mut want = vec![0.0; n];
+            let mut held = 0.0;
+            for (i, y) in want.iter_mut().enumerate() {
+                if i % HOLD_SAMPLES == 0 {
+                    held = by_scalar.next_transfer();
+                }
+                *y = held;
             }
             assert_eq!(want, got);
         }
