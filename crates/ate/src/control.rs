@@ -52,11 +52,12 @@ impl ControlProgram {
             if let Some(sel) = seq.selected_capacitor() {
                 c[sel - 1] = true;
             }
+            let s = mixsig::cast::u64_from_usize(t);
             vectors.push(ControlVector {
                 c,
                 phi_in: seq.phi_in(),
-                q1: sq.in_phase(t as u64) > 0,
-                q2: sq.quadrature(t as u64) > 0,
+                q1: sq.in_phase(s) > 0,
+                q2: sq.quadrature(s) > 0,
             });
         }
         Ok(Self { vectors })

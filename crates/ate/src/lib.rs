@@ -32,6 +32,10 @@
 //! assert!(first[1] != 0.0);
 //! ```
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 pub mod awg;
 pub mod board;
 pub mod capture;

@@ -17,6 +17,10 @@
 //! | ablation: oversampling ratio N | `ablation_n` |
 //! | ablation: circuit non-idealities | `ablation_nonideal` |
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 use dsp::tone::Tone;
 
 /// Mean of a slice.

@@ -199,6 +199,7 @@ impl<'d> NetworkAnalyzer<'d> {
     pub(crate) fn validate_frequency(f_wave: Hertz) -> Result<(), NetanError> {
         if f_wave.value().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(NetanError::InvalidFrequency {
+                // netan-lint: allow(lossy-cast): diagnostic-only millihertz render; `as` saturates NaN/∞ instead of panicking
                 hz_millis: (f_wave.value() * 1000.0) as i64,
             });
         }
@@ -408,7 +409,9 @@ impl<'d> NetworkAnalyzer<'d> {
         max_harmonic: u32,
     ) -> Result<Vec<HarmonicMeasurement>, NetanError> {
         Self::validate_frequency(f_wave)?;
-        crate::pool::map_indexed(engine.threads(), max_harmonic as usize, |i| {
+        let n = mixsig::cast::usize_from_u32(max_harmonic);
+        crate::pool::map_indexed(engine.threads(), n, |i| {
+            // netan-lint: allow(lossy-cast): i < max_harmonic, which is a u32, so the cast is exact
             self.measure_path(f_wave, i as u32 + 1, SignalPath::Dut)
         })
         .into_iter()
@@ -436,7 +439,7 @@ impl<'d> NetworkAnalyzer<'d> {
             SignalPath::Dut => DemoBoard::new(gen_cfg, self.dut),
             SignalPath::CalibrationBypass => DemoBoard::for_bypass(gen_cfg),
         };
-        board.warm_up(self.config.warmup_periods as usize);
+        board.warm_up(mixsig::cast::usize_from_u32(self.config.warmup_periods));
         let eval_cfg = self
             .config
             .hardware

@@ -60,6 +60,10 @@
 //! # Ok::<(), netan::NetanError>(())
 //! ```
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod analyzer;
 pub mod checkpoint;

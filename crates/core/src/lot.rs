@@ -1324,7 +1324,9 @@ impl LotEngine {
     /// pair never inverts the real comparison.
     fn budget_error(needed: Seconds, budget: Seconds) -> NetanError {
         NetanError::BudgetExhausted {
+            // netan-lint: allow(lossy-cast): diagnostic-only millisecond render; `as` saturates NaN/∞ instead of panicking
             needed_ms: (needed.value() * 1000.0).ceil() as u64,
+            // netan-lint: allow(lossy-cast): diagnostic-only millisecond render; `as` saturates NaN/∞ instead of panicking
             budget_ms: (budget.value() * 1000.0).ceil() as u64,
         }
     }
@@ -1355,6 +1357,7 @@ impl LotEngine {
                 .any(|f| f.value().to_bits() == mp.frequency.value().to_bits());
             if !measured {
                 return Err(NetanError::MaskFrequencyMissing {
+                    // netan-lint: allow(lossy-cast): diagnostic-only millihertz render; `as` saturates NaN/∞ instead of panicking
                     hz_millis: (mp.frequency.value() * 1000.0) as i64,
                 });
             }

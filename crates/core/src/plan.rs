@@ -48,7 +48,7 @@ pub struct TestPlan {
 pub fn measurement_time(periods: u32, f_wave: Hertz) -> Seconds {
     assert!(f_wave.value() > 0.0, "stimulus frequency must be positive");
     let n = OVERSAMPLING_RATIO as f64;
-    let samples = u64::from(periods) * OVERSAMPLING_RATIO as u64;
+    let samples = u64::from(periods) * u64::from(OVERSAMPLING_RATIO);
     // Chopped acquisition doubles the sample count.
     Seconds(2.0 * samples as f64 / (f_wave.value() * n))
 }
@@ -115,16 +115,18 @@ pub fn plan_measurement(
         return Err(NetanError::PlanOverflow {
             // Saturating f64 → u64 cast; u64::MAX for a non-finite demand.
             required_periods: if m_ceil.is_finite() {
+                // netan-lint: allow(lossy-cast): saturation is the intent — reporting a demand beyond u64::MAX as u64::MAX
                 m_ceil as u64
             } else {
                 u64::MAX
             },
         });
     }
+    // netan-lint: allow(lossy-cast): m_ceil ≤ MAX_EVEN_PERIODS is checked above, so the cast is exact
     let mut m = m_ceil as u32;
     m += m % 2; // validity: M even (≤ u32::MAX − 1 by the cap above)
     let m = m.max(2);
-    let samples = u64::from(m) * OVERSAMPLING_RATIO as u64;
+    let samples = u64::from(m) * u64::from(OVERSAMPLING_RATIO);
     let test_time = measurement_time(m, f_wave);
     Ok(TestPlan {
         periods: m,

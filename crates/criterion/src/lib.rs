@@ -18,6 +18,10 @@
 //!
 //! [`criterion`]: https://docs.rs/criterion
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimizer from deleting a benchmarked value.

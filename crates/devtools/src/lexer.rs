@@ -1,0 +1,560 @@
+//! A minimal comment- and string-aware Rust token scanner.
+//!
+//! `netan-lint` needs just enough lexical structure to tell *code* apart
+//! from *comments and string literals*: a mention of `HashMap` in a doc
+//! comment or an error-message string must never trip a rule, while the
+//! same identifier in code must. This module produces exactly that split —
+//! a stream of significant tokens (identifiers, punctuation, literals)
+//! plus a parallel stream of comments — without attempting a full parse.
+//!
+//! Two deliberate simplifications, documented here because rules depend on
+//! them:
+//!
+//! * **Tokens are flat.** There is no expression tree; rules pattern-match
+//!   short token windows (e.g. `as` followed by a numeric type name).
+//! * **`#[cfg(test)]` modules and `#[test]` functions are marked, not
+//!   parsed.** The scanner brace-matches the item that follows the
+//!   attribute and flags every token inside as test code, so rules that
+//!   only govern shipping library paths can skip them. Only the literal
+//!   forms `#[cfg(test)]` and `#[test]` are recognized; exotic spellings
+//!   (`#[cfg(all(test, ...))]`) would be treated as library code — the
+//!   conservative direction.
+
+/// One significant source token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (multi-character operators arrive as
+    /// consecutive tokens, e.g. `::` as two `:`).
+    Punct(char),
+    /// Numeric, char, or byte literal.
+    Literal,
+    /// String literal (regular, raw, or byte).
+    Str,
+}
+
+/// A token with its source position and test-code marker.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// 1-indexed line of the token's first character.
+    pub line: u32,
+    pub tok: Tok,
+    /// Inside a `#[cfg(test)]` module or `#[test]` function.
+    pub in_test: bool,
+}
+
+/// A comment, kept verbatim (including its `//` / `/*` introducer).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed first line.
+    pub line: u32,
+    /// 1-indexed last line (block comments may span several).
+    pub end_line: u32,
+    pub text: String,
+    /// Code tokens precede this comment on its first line.
+    pub trailing: bool,
+}
+
+/// The two parallel streams produced by [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The token at `idx`, if it is the punctuation character `c`.
+    pub fn is_punct(&self, idx: usize, c: char) -> bool {
+        matches!(self.tokens.get(idx), Some(t) if t.tok == Tok::Punct(c))
+    }
+
+    /// The token at `idx`, if it is the identifier `name`.
+    pub fn is_ident(&self, idx: usize, name: &str) -> bool {
+        matches!(&self.tokens.get(idx), Some(t) if matches!(&t.tok, Tok::Ident(s) if s == name))
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Consumes a regular (escaped) string body starting at the opening quote
+/// `quote`; returns the index one past the closing quote.
+fn consume_escaped_string(b: &[u8], mut i: usize, line: &mut u32, quote: u8) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body (`r"…"`, `r#"…"#`, …) starting at the
+/// opening quote, with `hashes` trailing `#`s; returns the index one past
+/// the final `#` (or quote).
+fn consume_raw_string(b: &[u8], mut i: usize, line: &mut u32, hashes: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"'
+            && b.len() - i > hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// constructs simply consume to end of input.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+    let mut last_code_line = 0u32;
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n && (b[i + 1] == b'/' || b[i + 1] == b'*') {
+            let start = i;
+            let start_line = line;
+            if b[i + 1] == b'/' {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+            } else {
+                let mut depth = 1u32;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: source[start..i].to_string(),
+                trailing: last_code_line == start_line,
+            });
+            continue;
+        }
+        // String literals, including raw/byte prefixes.
+        if c == b'"' {
+            let start_line = line;
+            i = consume_escaped_string(b, i, &mut line, b'"');
+            out.tokens.push(Token {
+                line: start_line,
+                tok: Tok::Str,
+                in_test: false,
+            });
+            last_code_line = start_line;
+            continue;
+        }
+        if c == b'r' || c == b'b' {
+            // Lookahead for a string prefix: r" r#" b" br" br#" b'…'.
+            let mut j = i + 1;
+            if c == b'b' && j < n && b[j] == b'r' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            let is_raw = j > i + 1 && (b[i + 1] == b'r' || c == b'r' || hashes > 0);
+            if j < n && b[j] == b'"' {
+                let start_line = line;
+                i = if is_raw || c == b'r' {
+                    consume_raw_string(b, j, &mut line, hashes)
+                } else {
+                    // b"…" — escaped byte string.
+                    consume_escaped_string(b, j, &mut line, b'"')
+                };
+                out.tokens.push(Token {
+                    line: start_line,
+                    tok: Tok::Str,
+                    in_test: false,
+                });
+                last_code_line = start_line;
+                continue;
+            }
+            if c == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                // Byte char literal b'x' — fall through to the char path
+                // by advancing past the prefix.
+                i += 1;
+                // handled by the '\'' branch below on the next iteration
+                // via direct processing here:
+                i = consume_char_literal(b, i);
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Literal,
+                    in_test: false,
+                });
+                last_code_line = line;
+                continue;
+            }
+            // Not a string prefix: plain identifier starting with r/b.
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let j = i + 1;
+            let is_char = if j >= n {
+                false
+            } else if b[j] == b'\\' {
+                true
+            } else {
+                // One (possibly multibyte) char followed by a closing quote.
+                let w = source[j..].chars().next().map_or(1, char::len_utf8);
+                j + w < n && b[j + w] == b'\''
+            };
+            if is_char {
+                i = consume_char_literal(b, i);
+                out.tokens.push(Token {
+                    line,
+                    tok: Tok::Literal,
+                    in_test: false,
+                });
+                last_code_line = line;
+            } else {
+                // Lifetime: skip the quote and the ident.
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Ident(source[start..i].to_string()),
+                in_test: false,
+            });
+            last_code_line = line;
+            continue;
+        }
+        // Numeric literals.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    i += 1;
+                } else if d == b'.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    // Decimal point — but not a `..` range or a method call
+                    // on the literal (`1.max(2)`).
+                    i += 1;
+                } else if (d == b'+' || d == b'-')
+                    && (b[i - 1] == b'e' || b[i - 1] == b'E')
+                    && !source[start..i].starts_with("0x")
+                {
+                    // Exponent sign: 1.0e-7.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                tok: Tok::Literal,
+                in_test: false,
+            });
+            last_code_line = line;
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.tokens.push(Token {
+            line,
+            tok: Tok::Punct(c as char),
+            in_test: false,
+        });
+        last_code_line = line;
+        i += 1;
+    }
+
+    mark_test_regions(&mut out);
+    out
+}
+
+/// Consumes a char literal starting at the opening `'`; returns the index
+/// one past the closing `'`. Handles `\x41`, `\u{…}`, and simple escapes.
+fn consume_char_literal(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    if j < n && b[j] == b'\\' {
+        let esc = if j + 1 < n { b[j + 1] } else { 0 };
+        j += 2;
+        if esc == b'u' && j < n && b[j] == b'{' {
+            while j < n && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        } else if esc == b'x' {
+            j += 2;
+        }
+    } else {
+        // Possibly multibyte: advance to the next quote.
+        while j < n && b[j] != b'\'' {
+            j += 1;
+        }
+    }
+    // Closing quote.
+    while j < n && b[j] != b'\'' {
+        j += 1;
+    }
+    (j + 1).min(n)
+}
+
+/// Finds the index of the token matching `open` at `open_idx` (which must
+/// hold the opening delimiter), honoring nesting.
+fn matching_close(lexed: &Lexed, open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in lexed.tokens.iter().enumerate().skip(open_idx) {
+        if t.tok == Tok::Punct(open) {
+            depth += 1;
+        } else if t.tok == Tok::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Marks every token inside `#[cfg(test)] mod …` and `#[test] fn …` items
+/// with `in_test = true`.
+fn mark_test_regions(lexed: &mut Lexed) {
+    let len = lexed.tokens.len();
+    let mut i = 0usize;
+    while i < len {
+        if !(lexed.is_punct(i, '#') && lexed.is_punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_close(lexed, i + 1, '[', ']') else {
+            break;
+        };
+        let inner_len = close - (i + 2);
+        let is_cfg_test = inner_len == 4
+            && lexed.is_ident(i + 2, "cfg")
+            && lexed.is_punct(i + 3, '(')
+            && lexed.is_ident(i + 4, "test")
+            && lexed.is_punct(i + 5, ')');
+        let is_test_attr = inner_len == 1 && lexed.is_ident(i + 2, "test");
+        if is_cfg_test || is_test_attr {
+            // Skip any further attributes and a visibility modifier.
+            let mut j = close + 1;
+            while lexed.is_punct(j, '#') && lexed.is_punct(j + 1, '[') {
+                match matching_close(lexed, j + 1, '[', ']') {
+                    Some(c2) => j = c2 + 1,
+                    None => break,
+                }
+            }
+            if lexed.is_ident(j, "pub") {
+                j += 1;
+                if lexed.is_punct(j, '(') {
+                    if let Some(c2) = matching_close(lexed, j, '(', ')') {
+                        j = c2 + 1;
+                    }
+                }
+            }
+            let item_ok = (is_cfg_test && lexed.is_ident(j, "mod"))
+                || (is_test_attr && (lexed.is_ident(j, "fn") || lexed.is_ident(j, "async")));
+            if item_ok {
+                let mut k = j;
+                while k < len && !lexed.is_punct(k, '{') && !lexed.is_punct(k, ';') {
+                    k += 1;
+                }
+                if lexed.is_punct(k, '{') {
+                    if let Some(end) = matching_close(lexed, k, '{', '}') {
+                        for t in &mut lexed.tokens[i..=end] {
+                            t.in_test = true;
+                        }
+                    }
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+// HashMap in a comment
+/* block HashMap /* nested */ still comment */
+let s = "HashMap in a string";
+let r = r#"raw HashMap"#;
+let real = BTreeMap::new();
+"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "BTreeMap"));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src =
+            "fn f<'a>(x: &'a str) -> char { let c = 'x'; let q = '\\''; let u = '\\u{1F600}'; c }";
+        let ids = idents(src);
+        // The lifetime name never shows up as an identifier token.
+        assert_eq!(ids.iter().filter(|s| *s == "a").count(), 0, "{ids:?}");
+        assert!(ids.iter().any(|s| s == "char"));
+    }
+
+    #[test]
+    fn trailing_comments_are_flagged() {
+        let src = "let x = 1; // trailing\n// own line\n";
+        let lx = lex(src);
+        assert!(lx.comments[0].trailing);
+        assert!(!lx.comments[1].trailing);
+    }
+
+    #[test]
+    fn token_lines_are_one_indexed() {
+        let src = "a\nb\n\nc";
+        let lx = lex(src);
+        let lines: Vec<u32> = lx.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = r##"
+pub fn library_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn check() { let v = value.unwrap(); }
+}
+"##;
+        let lx = lex(src);
+        for t in &lx.tokens {
+            if let Tok::Ident(s) = &t.tok {
+                if s == "unwrap" {
+                    assert!(t.in_test, "unwrap inside cfg(test) not marked");
+                }
+                if s == "library_code" {
+                    assert!(!t.in_test);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn test_attr_functions_are_marked() {
+        let src = "fn lib() {}\n#[test]\nfn t() { x.unwrap(); }\nfn lib2() {}";
+        let lx = lex(src);
+        for t in &lx.tokens {
+            if let Tok::Ident(s) = &t.tok {
+                match s.as_str() {
+                    "unwrap" => assert!(t.in_test),
+                    "lib" | "lib2" => assert!(!t.in_test),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfg_not_test_is_library_code() {
+        let src = "#[cfg(not(test))]\nmod real { fn f() { x.unwrap(); } }";
+        let lx = lex(src);
+        for t in &lx.tokens {
+            if let Tok::Ident(s) = &t.tok {
+                if s == "unwrap" {
+                    assert!(!t.in_test, "cfg(not(test)) wrongly marked as test");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_literals_with_exponents_and_methods() {
+        let src = "let a = 1.0e-7; let b = 0xFF_u32; let c = 1.0f64.max(2.0); let d = 1..5;";
+        let lx = lex(src);
+        // `max` must survive as an identifier (not swallowed by 1.0f64).
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "max")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let ident_b = b; let ident_r = r;";
+        let lx = lex(src);
+        let strs = lx.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 1);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "ident_b")));
+    }
+}

@@ -1,0 +1,472 @@
+//! `devtools` — workspace development tooling, currently the
+//! `netan-lint` static-analysis pass.
+//!
+//! Every engine in this repo promises byte-identical results across
+//! serial/parallel/sharded/resumed runs. That discipline used to be
+//! enforced only by tests after the fact; `netan-lint` checks the
+//! statically detectable part of it at the source level:
+//!
+//! * numeric narrowing that can silently saturate (the `plan_measurement`
+//!   `as u32` overflow class),
+//! * hash-order collections inside the bit-identity crates,
+//! * wall-clock time and ambient entropy outside the bench harnesses,
+//! * `unsafe` without a written safety argument,
+//! * panics in `netan` library paths (ratcheted via a burn-down
+//!   baseline).
+//!
+//! The scanner is a hand-rolled, dependency-free token lexer
+//! ([`lexer`]) — the same offline-first move as the in-tree
+//! criterion/proptest shims — and the rule registry lives in [`rules`].
+//! Run it with `cargo run -p devtools --bin netan-lint -- --deny`; see
+//! `crates/devtools/RULES.md` for the rule reference and suppression
+//! syntax.
+//!
+//! ## Suppression directives
+//!
+//! A finding is suppressed by a comment directive naming the rule and
+//! justifying the exception (the justification is mandatory):
+//!
+//! ```text
+//! let ms = (secs * 1000.0) as i64; // netan-lint: allow(lossy-cast): render only; value bounded by validation above
+//! ```
+//!
+//! A directive on its own line applies to the next code line. Unused
+//! directives, unknown rule names, and missing justifications are
+//! themselves findings, so suppressions cannot rot silently.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where the panic-in-lib burn-down baseline lives, relative to the
+/// workspace root.
+pub const PANIC_BASELINE_PATH: &str = "crates/devtools/panic_baseline.txt";
+
+/// Which compilation-target family a file belongs to, derived from its
+/// path (`src/` vs `tests/` vs `benches/` vs `examples/`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    Lib,
+    Test,
+    Bench,
+    Example,
+    Other,
+}
+
+/// The scoping context of one file: which crate it belongs to and what
+/// kind of target it is. Root-level `tests/` and `examples/` are targets
+/// of the `netan` package, whose crate directory is `core`.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileCtx {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 3 {
+        let kind = match parts[2] {
+            "src" => FileKind::Lib,
+            "tests" => FileKind::Test,
+            "benches" => FileKind::Bench,
+            "examples" => FileKind::Example,
+            _ => FileKind::Other,
+        };
+        return FileCtx {
+            crate_name: parts[1].to_string(),
+            kind,
+        };
+    }
+    match parts.first() {
+        Some(&"tests") => FileCtx {
+            crate_name: "core".to_string(),
+            kind: FileKind::Test,
+        },
+        Some(&"examples") => FileCtx {
+            crate_name: "core".to_string(),
+            kind: FileKind::Example,
+        },
+        _ => FileCtx {
+            crate_name: String::new(),
+            kind: FileKind::Other,
+        },
+    }
+}
+
+/// One lint finding: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `netan-lint: allow(<rule>)` directive.
+#[derive(Debug)]
+struct Directive {
+    /// Line the directive comment starts on.
+    line: u32,
+    /// Code line the directive governs (same line for trailing comments,
+    /// the next code line otherwise).
+    target: Option<u32>,
+    rule: String,
+    justified: bool,
+    known: bool,
+    used: bool,
+}
+
+/// Extracts directives from a file's comments. A directive must start the
+/// comment (after the `//`/`/*` introducer), so prose that merely
+/// mentions the syntax is ignored.
+fn parse_directives(lexed: &lexer::Lexed) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let body = c
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start()
+            .trim_end_matches("*/")
+            .trim_end();
+        let Some(rest) = body.strip_prefix("netan-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rule, tail) = match rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) {
+            Some((rule, tail)) => (rule.trim().to_string(), tail),
+            None => (String::new(), rest),
+        };
+        let justification = tail.trim_start_matches([':', '-', '—', ' ']).trim();
+        let target = if c.trailing {
+            Some(c.line)
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.line > c.end_line)
+                .map(|t| t.line)
+        };
+        out.push(Directive {
+            line: c.line,
+            target,
+            known: rules::SUPPRESSIBLE.contains(&rule.as_str()),
+            justified: justification.chars().count() >= 10,
+            rule,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lints one file's source text under a pretend workspace-relative path
+/// (which selects the crate/kind scoping) and a panic burn-down baseline
+/// for that path. This is the whole per-file pipeline: lex → rules →
+/// directive hygiene → suppression → baseline ratchet → unused-directive
+/// check.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Diagnostic> {
+    let ctx = classify(rel_path);
+    let lexed = lexer::lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = rules::run_rules(&ctx, &lexed, &lines, rel_path);
+    let mut directives = parse_directives(&lexed);
+
+    let mut out = Vec::new();
+    for d in &directives {
+        if !d.known {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: d.line,
+                rule: rules::UNKNOWN_RULE,
+                message: format!(
+                    "directive names no suppressible rule (got `{}`); expected one of {}",
+                    d.rule,
+                    rules::SUPPRESSIBLE.join(", ")
+                ),
+            });
+        } else if !d.justified {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: d.line,
+                rule: rules::MISSING_JUSTIFICATION,
+                message: format!(
+                    "suppression of `{}` needs a written justification: \
+                     `netan-lint: allow({}): <why this is sound>`",
+                    d.rule, d.rule
+                ),
+            });
+        }
+    }
+
+    // Apply suppressions: a well-formed directive removes same-rule
+    // findings on its target line. Malformed directives suppress nothing,
+    // so the underlying finding stays visible alongside the hygiene one.
+    findings.retain(|f| {
+        for d in &mut directives {
+            if d.known && d.justified && d.target == Some(f.line) && d.rule == f.rule {
+                d.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    // Burn-down ratchet: only panic sites beyond the file's baseline
+    // count are reported, so the rule blocks new sites while the recorded
+    // backlog is worked off.
+    let base = baseline.get(rel_path).copied().unwrap_or(0);
+    let mut panic_seen = 0usize;
+    findings.retain_mut(|f| {
+        if f.rule != rules::PANIC_IN_LIB {
+            return true;
+        }
+        panic_seen += 1;
+        if panic_seen <= base {
+            return false;
+        }
+        f.message = format!(
+            "{} (site {} of this file exceeds the burn-down baseline of {}; see {})",
+            f.message, panic_seen, base, PANIC_BASELINE_PATH
+        );
+        true
+    });
+
+    for d in &directives {
+        if d.known && d.justified && !d.used {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: d.line,
+                rule: rules::UNUSED_SUPPRESSION,
+                message: format!(
+                    "`allow({})` matches no finding on its target line; remove the stale \
+                     directive",
+                    d.rule
+                ),
+            });
+        }
+    }
+
+    out.extend(findings);
+    out.sort();
+    out
+}
+
+/// Counts unsuppressed panic-in-lib sites per file — the quantity the
+/// burn-down baseline records. Computed with an empty baseline so every
+/// site is visible.
+pub fn collect_panic_counts(root: &Path) -> io::Result<BTreeMap<String, usize>> {
+    let empty = BTreeMap::new();
+    let mut counts = BTreeMap::new();
+    for rel in workspace_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let n = lint_source(&rel, &source, &empty)
+            .into_iter()
+            .filter(|d| d.rule == rules::PANIC_IN_LIB)
+            .count();
+        if n > 0 {
+            counts.insert(rel, n);
+        }
+    }
+    Ok(counts)
+}
+
+/// Renders a panic baseline document.
+pub fn render_baseline(counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(
+        "# netan-lint panic-in-lib burn-down baseline.\n\
+         #\n\
+         # Each line records how many `.unwrap()`/`.expect()`/`panic!` sites a\n\
+         # `netan` library file is still allowed to carry. The lint only reports\n\
+         # sites *beyond* a file's count, so new panics are blocked while the\n\
+         # backlog is converted to typed errors. Re-bless with:\n\
+         #\n\
+         #     cargo run -p devtools --bin netan-lint -- --bless-panics\n\
+         #\n\
+         # A workspace test asserts this file matches the tree exactly, so the\n\
+         # numbers can only ratchet down deliberately, never drift.\n",
+    );
+    for (path, count) in counts {
+        s.push_str(&format!("{path} {count}\n"));
+    }
+    s
+}
+
+/// Parses a panic baseline document (inverse of [`render_baseline`]).
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((path, count)) = line.rsplit_once(' ') {
+            if let Ok(n) = count.parse::<usize>() {
+                map.insert(path.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+/// Loads the baseline from its in-tree location; a missing file is an
+/// empty baseline.
+pub fn load_baseline(root: &Path) -> BTreeMap<String, usize> {
+    fs::read_to_string(root.join(PANIC_BASELINE_PATH))
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default()
+}
+
+/// Directory names the walker never descends into: build output, VCS
+/// metadata, and lint-test fixture snippets (which violate rules on
+/// purpose).
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "fixtures")
+}
+
+/// Every `.rs` file under `root`, workspace-relative with forward
+/// slashes, in sorted (deterministic) order.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let files = workspace_files(root)?;
+    lint_files(root, &files)
+}
+
+/// Lints an explicit set of files and/or directories (absolute or
+/// root-relative paths), using the same scoping as a full workspace run.
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_dir() {
+            walk(root, &abs, &mut files)?;
+        } else if let Ok(rel) = abs.strip_prefix(root) {
+            files.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    files.sort();
+    files.dedup();
+    lint_files(root, &files)
+}
+
+fn lint_files(root: &Path, files: &[String]) -> io::Result<Vec<Diagnostic>> {
+    let baseline = load_baseline(root);
+    let mut out = Vec::new();
+    for rel in files {
+        let source = fs::read_to_string(root.join(rel))?;
+        out.extend(lint_source(rel, &source, &baseline));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_maps_paths_to_contexts() {
+        let c = classify("crates/core/src/lot.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Lib);
+        let c = classify("crates/mixsig/tests/properties.rs");
+        assert_eq!(c.crate_name, "mixsig");
+        assert_eq!(c.kind, FileKind::Test);
+        let c = classify("crates/bench/benches/lot.rs");
+        assert_eq!(c.crate_name, "bench");
+        assert_eq!(c.kind, FileKind::Bench);
+        // Root tests/examples are netan (crates/core) targets.
+        let c = classify("tests/escalation.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Test);
+        let c = classify("examples/quickstart.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Example);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/core/src/lot.rs".to_string(), 12);
+        counts.insert("crates/core/src/report.rs".to_string(), 3);
+        let text = render_baseline(&counts);
+        assert_eq!(parse_baseline(&text), counts);
+    }
+
+    #[test]
+    fn directive_prose_in_docs_is_not_a_directive() {
+        // The syntax quoted mid-sentence (not at comment start) must not
+        // parse as a directive; only real leading directives do.
+        let src =
+            "/// Suppress with a trailing netan-lint: allow(lossy-cast): … comment.\nfn f() {}\n";
+        let lexed = lexer::lex(src);
+        assert_eq!(parse_directives(&lexed).len(), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Bad: bare narrowing casts in library code — the `plan_measurement`
+//! saturation class.
+
+pub fn total_millis(secs: f64) -> i64 {
+    (secs * 1000.0) as i64
+}
+
+pub fn shrink(x: u64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,15 @@
+//! Good: lossless `From` widenings, the exempt `as f64` direction, and a
+//! cast whose loss is deliberate and justified.
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn ratio(x: u32, y: u32) -> f64 {
+    x as f64 / y.max(1) as f64
+}
+
+pub fn render_millis(secs: f64) -> i64 {
+    // netan-lint: allow(lossy-cast): diagnostic-only render; `as` saturates out-of-range values safely
+    (secs * 1000.0) as i64
+}

@@ -1,0 +1,12 @@
+//! Bad: hash-order collections inside a crate that promises
+//! byte-identical serial/parallel/sharded results.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

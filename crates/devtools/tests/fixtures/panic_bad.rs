@@ -1,0 +1,15 @@
+//! Bad: panics in a library path.
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn configured(x: Option<u32>) -> u32 {
+    x.expect("must be configured")
+}
+
+pub fn reject(kind: u32) {
+    if kind > 3 {
+        panic!("unsupported kind {kind}");
+    }
+}

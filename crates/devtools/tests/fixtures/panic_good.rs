@@ -1,0 +1,18 @@
+//! Good: typed errors in library paths; panics confined to test code.
+
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn configured(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "must be configured".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_inside_tests_is_exempt() {
+        let xs = [1.0f64];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Bad: unsafe without a written safety argument.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub unsafe fn add_unchecked(a: usize, b: usize) -> usize {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,17 @@
+//! Good: every unsafe site carries its safety argument.
+
+pub fn read_first(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer read stays in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Adds without overflow checks.
+///
+/// # Safety
+///
+/// Caller must ensure `a + b` does not overflow `usize`.
+pub unsafe fn add_unchecked(a: usize, b: usize) -> usize {
+    a.wrapping_add(b)
+}

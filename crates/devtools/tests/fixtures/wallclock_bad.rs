@@ -1,0 +1,12 @@
+//! Bad: wall-clock time and ambient entropy inside an engine crate.
+
+use std::time::Instant;
+
+pub fn stamp_nanos() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+pub fn ambient_seed() -> u64 {
+    rand::random()
+}

@@ -1,0 +1,10 @@
+//! Good: time is derived from sample counts against the simulated master
+//! clock, and randomness comes from an explicitly seeded stream.
+
+pub fn simulated_seconds(samples: u64, rate_hz: f64) -> f64 {
+    samples as f64 / rate_hz
+}
+
+pub fn seeded_stream(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -26,6 +26,10 @@
 //! assert_eq!(spec.peak_bin(), 64);
 //! ```
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod db;
 pub mod fft;

@@ -1,0 +1,57 @@
+//! Lossless integer conversions the standard library cannot express.
+//!
+//! `u32 → usize` and `usize → u64` are value-preserving on every target
+//! this workspace supports, but neither has a `From` impl (a 16-bit
+//! `usize` could truncate the former; a hypothetical 128-bit `usize`
+//! the latter). The `netan-lint` `lossy-cast` rule therefore flags the
+//! bare `as` spellings; these helpers centralize them behind
+//! compile-time width assertions, so call sites stay cast-free and the
+//! justification lives in exactly one place.
+//!
+//! Both functions are `const fn`, so they are usable in array lengths
+//! and `const` initializers — the contexts where `TryFrom` cannot go.
+
+const _: () = assert!(
+    usize::BITS >= 32,
+    "mixsig requires usize to hold every u32 (no 16-bit targets)"
+);
+const _: () = assert!(usize::BITS <= 64, "mixsig requires u64 to hold every usize");
+
+/// `u32 → usize`, lossless by the width assertion above.
+#[inline(always)]
+pub const fn usize_from_u32(x: u32) -> usize {
+    // netan-lint: allow(lossy-cast): usize::BITS >= 32 is asserted at compile time, so the cast is value-preserving
+    x as usize
+}
+
+/// `usize → u64`, lossless by the width assertion above.
+#[inline(always)]
+pub const fn u64_from_usize(x: usize) -> u64 {
+    // netan-lint: allow(lossy-cast): usize::BITS <= 64 is asserted at compile time, so the cast is value-preserving
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_exact() {
+        for x in [0u32, 1, 95, u32::MAX] {
+            assert_eq!(usize_from_u32(x), x as usize);
+        }
+        for x in [0usize, 1, 4096, usize::MAX] {
+            assert_eq!(u64_from_usize(x), x as u64);
+        }
+    }
+
+    #[test]
+    fn const_contexts_work() {
+        const N: usize = usize_from_u32(96);
+        const W: u64 = u64_from_usize(N);
+        let buf = [0u8; usize_from_u32(4)];
+        assert_eq!(N, 96);
+        assert_eq!(W, 96);
+        assert_eq!(buf.len(), 4);
+    }
+}

@@ -129,10 +129,12 @@ impl Matrix {
         let norm = self.norm_inf();
         // Scale so the norm is below 0.5, then square back.
         let squarings = if norm > 0.5 {
+            // netan-lint: allow(lossy-cast): `log2` of a finite norm is far below u32::MAX and `as` saturates NaN/∞ to safe values
             (norm / 0.5).log2().ceil() as u32
         } else {
             0
         };
+        // netan-lint: allow(lossy-cast): squarings ≤ ~1074 for any finite f64 norm, far below i32::MAX
         let scaled = self.scaled(1.0 / f64::powi(2.0, squarings as i32));
         // Taylor: I + X + X²/2! + ...
         let mut result = Matrix::identity(n);

@@ -143,7 +143,9 @@ fn uniform_from_bits(raw: u64) -> f64 {
     // arithmetic in f64 — the result is bit-identical to a direct u64
     // conversion of `v`.
     let v = raw >> 11;
+    // netan-lint: allow(lossy-cast): `v >> 26` is at most 27 bits, well inside i32 range
     let hi = (v >> 26) as i32;
+    // netan-lint: allow(lossy-cast): masked to 26 bits, well inside i32 range
     let lo = (v & 0x3FF_FFFF) as i32;
     let u = (f64::from(hi) * 67_108_864.0 + f64::from(lo)) * (1.0 / (1u64 << 53) as f64);
     u.max(f64::EPSILON)
@@ -206,13 +208,14 @@ mod fast {
         let bits = u.to_bits();
         // The biased exponent fits in 12 bits, so a 32-bit extraction is
         // exact and keeps the int→float convert vectorizable.
+        // netan-lint: allow(lossy-cast): `bits >> 52` is at most 12 bits, well inside i32 range
         let e0 = ((bits >> 52) as i32 & 0x7FF) - 1023;
         let m0 = f64::from_bits((bits & 0x000F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000);
         // Branch-free normalization (the mantissa's top bit is effectively
         // random here, so a real branch would mispredict half the time).
         let big = m0 > std::f64::consts::SQRT_2;
         let m = if big { m0 * 0.5 } else { m0 };
-        let e = e0 + big as i32;
+        let e = e0 + i32::from(big);
         let s = (m - 1.0) / (m + 1.0);
         let s2 = s * s;
         let series = s
@@ -234,6 +237,7 @@ mod fast {
         // `t + 0.5 ∈ [0.5, 4.5)`, so 32-bit integer truncation *is*
         // `floor` — and unlike `f64::floor`, it cannot fall back to a libm
         // call on baseline x86-64 (and it vectorizes).
+        // netan-lint: allow(lossy-cast): truncation of `t + 0.5 ∈ [0.5, 4.5)` is the intended floor
         let ki = (t + 0.5) as i32;
         let k = f64::from(ki);
         let r = (t - k) * std::f64::consts::FRAC_PI_2;
@@ -250,6 +254,7 @@ mod fast {
         // c/s pick are pure bit operations (sign-bit XOR and a mask
         // select), so no data-dependent branch exists and the results are
         // exactly the ±1.0-multiplied values of the branched form.
+        // netan-lint: allow(lossy-cast): `ki ∈ [0, 4]`, so the widening to u64 is value-preserving
         let q = ki as u64;
         let c_signed = f64::from_bits(c.to_bits() ^ ((q & 2) << 62));
         let s_signed = f64::from_bits(s.to_bits() ^ ((!q & 2) << 62));

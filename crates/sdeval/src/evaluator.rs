@@ -355,8 +355,10 @@ impl SinewaveEvaluator {
         sq: QuadratureSquareWave,
         m: u32,
     ) -> (f64, f64, u64) {
-        let window = m as u64 * self.config.n as u64;
-        let block = (self.config.block_samples.max(1) as u64).min(window) as usize;
+        let window = u64::from(m) * u64::from(self.config.n);
+        let block_cap = mixsig::cast::u64_from_usize(self.config.block_samples.max(1));
+        // netan-lint: allow(lossy-cast): the value is ≤ block_samples, which is already a usize, so the cast is exact
+        let block = block_cap.min(window) as usize;
         let mut buf = vec![0.0f64; block];
         let mut q1 = vec![false; block];
         let mut q2 = vec![false; block];
@@ -365,16 +367,16 @@ impl SinewaveEvaluator {
             let mut i2 = 0i64;
             let mut t = 0u64;
             while t < window {
-                let len = block.min((window - t) as usize);
+                let len = block.min(usize::try_from(window - t).unwrap_or(usize::MAX));
                 src.fill_block(&mut buf[..len]);
                 for (j, (b1, b2)) in q1[..len].iter_mut().zip(&mut q2[..len]).enumerate() {
-                    let s = t + j as u64;
+                    let s = t + mixsig::cast::u64_from_usize(j);
                     *b1 = (sq.in_phase(s) > 0) ^ invert;
                     *b2 = (sq.quadrature(s) > 0) ^ invert;
                 }
                 i1 += this.mod_i.process_block(&buf[..len], &q1[..len]);
                 i2 += this.mod_q.process_block(&buf[..len], &q2[..len]);
-                t += len as u64;
+                t += mixsig::cast::u64_from_usize(len);
             }
             (i1, i2)
         };

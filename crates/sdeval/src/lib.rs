@@ -36,6 +36,10 @@
 //! # Ok::<(), sdeval::EvalError>(())
 //! ```
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 pub mod counter;
 pub mod evaluator;
 pub mod modulator;

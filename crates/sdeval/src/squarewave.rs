@@ -84,8 +84,8 @@ impl QuadratureSquareWave {
         }
         // Position within the stimulus period scaled by k; positive while
         // the wave is in the first half of its own period.
-        let pos = (self.k as u64 * sample) % self.n as u64;
-        if 2 * pos < self.n as u64 {
+        let pos = (u64::from(self.k) * sample) % u64::from(self.n);
+        if 2 * pos < u64::from(self.n) {
             1
         } else {
             -1
@@ -100,8 +100,8 @@ impl QuadratureSquareWave {
         }
         // sq(t − T/4k): shift the sample index back by a quarter of the
         // wave period (integer because 8k | N), modulo one wave period.
-        let delay = (self.n / (4 * self.k)) as u64;
-        let period = (self.n / self.k) as u64;
+        let delay = u64::from(self.n / (4 * self.k));
+        let period = u64::from(self.n / self.k);
         let shifted = (sample % period + period - delay) % period;
         self.in_phase(shifted)
     }
@@ -115,11 +115,12 @@ impl QuadratureSquareWave {
         if self.k == 0 {
             return Complex64::ONE;
         }
-        let n = self.n as usize;
+        let n = mixsig::cast::usize_from_u32(self.n);
+        let k = mixsig::cast::usize_from_u32(self.k);
         let mut acc = Complex64::ZERO;
         for i in 0..n {
-            let s = self.in_phase(i as u64) as f64;
-            acc += Complex64::cis(-2.0 * PI * (self.k as usize * i) as f64 / n as f64) * s;
+            let s = f64::from(self.in_phase(mixsig::cast::u64_from_usize(i)));
+            acc += Complex64::cis(-2.0 * PI * (k * i) as f64 / n as f64) * s;
         }
         acc / n as f64
     }

@@ -42,6 +42,10 @@
 //! assert!((peak - 0.6).abs() < 0.08, "≈600 mV output, got {peak}");
 //! ```
 
+// No unsafe code belongs in this crate; the only unsafe in the
+// workspace is mixsig's runtime-dispatched AVX2 noise kernels.
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod array;
 pub mod biquad;
