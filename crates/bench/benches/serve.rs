@@ -1,0 +1,150 @@
+//! Screening-service overhead: the same escalated lot run three ways —
+//! monolithic in-process (`run_escalated_range`), through the
+//! [`netan_serve::ScreenService`] shard queue, and over a real TCP
+//! connection with `netan.job.v1` framing — so the cost of sharding,
+//! merging, event streaming and wire (de)serialization is priced
+//! against the engine it wraps.
+//!
+//! Before any timing is printed the harness asserts the service report
+//! and the frame-decoded TCP report are **byte-identical** (via
+//! `lot_json`) to the monolithic reference.
+//!
+//! Run with `cargo bench --bench serve`; `cargo bench --bench serve --
+//! --smoke` runs a reduced lot (CI runs that under `--release`).
+
+use std::time::{Duration, Instant};
+
+use dut::ActiveRcFilter;
+use netan::{
+    lot_json, AnalyzerConfig, EscalationSchedule, GainMask, LotEngine, LotPlan, LotReport,
+};
+use netan_serve::{
+    ClientFrame, DutDescription, JobEvent, JobRequest, JobServer, ScreenService, ServerFrame,
+    ServiceConfig,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const TOLERANCE: f64 = 0.05;
+
+fn factory(seed: u64) -> ActiveRcFilter {
+    ActiveRcFilter::paper_dut()
+        .linearized()
+        .fabricate(TOLERANCE, seed)
+}
+
+fn request(devices: u64, shard: u64, periods: &[u32]) -> JobRequest {
+    JobRequest {
+        dut: DutDescription {
+            tolerance: TOLERANCE,
+            linearized: true,
+        },
+        seed_start: 0,
+        seed_end: devices,
+        shard_devices: shard,
+        plan: LotPlan::from_mask(GainMask::paper_lowpass()),
+        schedule: EscalationSchedule::from_periods(AnalyzerConfig::ideal(), periods),
+    }
+}
+
+fn timed_monolithic(job: &JobRequest) -> (LotReport, Duration) {
+    let start = Instant::now();
+    let report = LotEngine::serial()
+        .run_escalated_range(
+            factory,
+            job.seed_start..job.seed_end,
+            &job.plan,
+            &job.schedule,
+        )
+        .expect("monolithic run failed");
+    (report, start.elapsed())
+}
+
+fn timed_service(job: &JobRequest, workers: usize) -> (LotReport, Duration) {
+    let service = ScreenService::start(ServiceConfig::new().with_workers(workers));
+    let start = Instant::now();
+    let (_, events) = service.submit(job.clone()).expect("submit failed");
+    let report = loop {
+        match events.recv().expect("terminal event") {
+            JobEvent::Done(report) => break *report,
+            JobEvent::Failed(e) => panic!("service job failed: {e}"),
+            JobEvent::Progress { .. } | JobEvent::Retry { .. } => {}
+        }
+    };
+    let elapsed = start.elapsed();
+    service.shutdown();
+    (report, elapsed)
+}
+
+fn timed_tcp(job: &JobRequest, workers: usize) -> (LotReport, Duration) {
+    let server = JobServer::start("127.0.0.1:0", ServiceConfig::new().with_workers(workers))
+        .expect("bind failed");
+    let start = Instant::now();
+    let stream = TcpStream::connect(server.addr()).expect("connect failed");
+    let mut writer = stream.try_clone().expect("clone failed");
+    writer
+        .write_all(format!("{}\n", ClientFrame::Submit(Box::new(job.clone())).render()).as_bytes())
+        .expect("submit write failed");
+    let mut reader = BufReader::new(stream);
+    let report = loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("frame read failed");
+        match ServerFrame::parse(line.trim()).expect("frame parse failed") {
+            ServerFrame::Finished { report, .. } => break *report,
+            ServerFrame::Rejected { error } | ServerFrame::Error { error, .. } => {
+                panic!("tcp job failed: {error:?}")
+            }
+            _ => {}
+        }
+    };
+    let elapsed = start.elapsed();
+    server.shutdown();
+    (report, elapsed)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (devices, shard, periods): (u64, u64, &[u32]) = if smoke {
+        (8, 2, &[50, 100])
+    } else {
+        (24, 4, &[50, 200])
+    };
+    let label = if smoke { "smoke" } else { "full" };
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+
+    let job = request(devices, shard, periods);
+    let (reference, mono_time) = timed_monolithic(&job);
+    let (served, serve_time) = timed_service(&job, workers);
+    let (wired, tcp_time) = timed_tcp(&job, workers);
+
+    assert_eq!(
+        lot_json(&served),
+        lot_json(&reference),
+        "service report must be byte-identical to the monolith"
+    );
+    assert_eq!(
+        lot_json(&wired),
+        lot_json(&reference),
+        "tcp-decoded report must be byte-identical to the monolith"
+    );
+
+    println!(
+        "serve[{label}]: {devices} devices, shard {shard}, {workers} workers — \
+         reports byte-identical across monolith/service/tcp"
+    );
+    println!(
+        "  monolithic serial     {:>10.1?}  ({} devices)",
+        mono_time,
+        reference.len()
+    );
+    println!(
+        "  screen service        {:>10.1?}  ({:.2}x vs serial)",
+        serve_time,
+        mono_time.as_secs_f64() / serve_time.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  tcp end-to-end        {:>10.1?}  (framing + wire overhead {:+.1?})",
+        tcp_time,
+        tcp_time.saturating_sub(serve_time)
+    );
+}

@@ -254,7 +254,11 @@ impl LotCheckpoint {
         if lot.start >= lot.end {
             return Err(CheckpointError::Lot(NetanError::EmptyLot));
         }
-        let mut merged: Option<LotReport> = None;
+        // The empty report is a merge identity, so seeding the fold with
+        // it keeps the loop total without an "at least one shard"
+        // assertion — the non-empty `lot` guard above guarantees at
+        // least one real shard is merged in.
+        let mut merged = LotReport::empty(plan);
         let mut fresh = 0usize;
         let mut start = lot.start;
         while start < lot.end {
@@ -262,7 +266,7 @@ impl LotCheckpoint {
             let span = start..end;
             // Observed spend of everything merged so far — what earlier
             // shards (loaded or fresh) charged against a global budget.
-            let spent = merged.as_ref().map_or(Seconds(0.0), LotReport::spent);
+            let spent = merged.spent();
             let report = match self.load_shard(&span, plan) {
                 Some(loaded) => loaded,
                 None => {
@@ -270,33 +274,33 @@ impl LotCheckpoint {
                         // Deterministic halt: hand back what is merged
                         // so far, marked as the incomplete prefix of
                         // the intended lot.
-                        let partial = merged.unwrap_or_else(|| LotReport::empty(plan));
-                        return Ok(partial.with_shard(ShardSpan {
+                        return Ok(merged.with_shard(ShardSpan {
                             seed_start: lot.start,
                             seed_end: lot.end,
                             complete: false,
                         }));
                     }
                     let ran = run_shard(span.clone(), spent)?;
-                    self.persist(&span, &ran)?;
+                    self.persist_shard(&span, &ran)?;
                     fresh += 1;
                     ran
                 }
             };
-            merged = Some(match merged {
-                None => report,
-                Some(m) => m.merge(report),
-            });
+            merged = merged.merge(report);
             start = end;
         }
-        Ok(merged.expect("non-empty lot merged at least one shard"))
+        Ok(merged)
     }
 
     /// Loads the persisted shard covering `span`, or `None` when it
     /// must be (re-)measured: file absent or unreadable, document
     /// unparseable (e.g. a torn write), span/mask mismatched, or not
     /// marked complete.
-    fn load_shard(&self, span: &Range<u64>, plan: &LotPlan) -> Option<LotReport> {
+    ///
+    /// Public so external drivers (e.g. the `netan-serve` screening
+    /// service) can resume from the same shard documents this type
+    /// writes.
+    pub fn load_shard(&self, span: &Range<u64>, plan: &LotPlan) -> Option<LotReport> {
         let text = std::fs::read_to_string(self.shard_path(span)).ok()?;
         let report = parse_lot_json(&text).ok()?;
         let shard = report.shard()?;
@@ -309,7 +313,15 @@ impl LotCheckpoint {
 
     /// Persists a completed shard document atomically: written to a
     /// sibling temp file, then renamed into place.
-    fn persist(&self, span: &Range<u64>, report: &LotReport) -> Result<(), CheckpointError> {
+    ///
+    /// Public for the same reason as [`load_shard`](Self::load_shard):
+    /// external drivers persisting shards they ran themselves get the
+    /// identical naming and atomic-write discipline.
+    pub fn persist_shard(
+        &self,
+        span: &Range<u64>,
+        report: &LotReport,
+    ) -> Result<(), CheckpointError> {
         let io_err = |path: &Path| {
             let path = path.to_path_buf();
             move |source| CheckpointError::Io { path, source }

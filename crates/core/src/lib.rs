@@ -70,6 +70,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod harmonics;
+pub mod json;
 pub mod lot;
 pub mod plan;
 pub mod pool;
@@ -83,14 +84,16 @@ pub use checkpoint::{CheckpointError, LotCheckpoint};
 pub use engine::SweepEngine;
 pub use error::NetanError;
 pub use harmonics::DistortionReport;
+pub use json::Json;
 pub use lot::{
     DeviceReport, EscalationSchedule, LotEngine, LotPlan, LotReport, ShardSpan, StageSummary,
     StoppingPolicy, VerdictCounts,
 };
 pub use plan::{grid_time, measurement_time, plan_measurement, TestPlan};
+pub use pool::WorkerPanic;
 pub use report::{
-    bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_table,
-    parse_lot_json, ReportParseError,
+    bode_csv, bode_json, bode_table, distortion_table, lot_csv, lot_json, lot_report_from_json,
+    lot_table, parse_lot_json, ReportParseError,
 };
 pub use spec::{GainMask, MaskPoint, SpecVerdict};
 pub use sweep::{log_spaced, BodePlot, LowpassFit};

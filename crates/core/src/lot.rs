@@ -180,10 +180,16 @@ impl LotPlan {
     /// Thin strictness wrapper over [`classify_plot`](Self::classify_plot)
     /// for callers that expect a fixed-grid plot.
     ///
+    /// # Errors
+    ///
+    /// [`NetanError::MaskFrequencyMissing`] if a mask frequency is
+    /// missing from `points` (see [`classify_plot`](Self::classify_plot)).
+    ///
     /// # Panics
     ///
-    /// Panics if `points.len()` differs from the grid length.
-    pub fn classify(&self, points: &[BodePoint]) -> SpecVerdict {
+    /// Panics if `points.len()` differs from the grid length — a strict
+    /// caller contract, not a data condition.
+    pub fn classify(&self, points: &[BodePoint]) -> Result<SpecVerdict, NetanError> {
         assert_eq!(
             points.len(),
             self.grid.len(),
@@ -196,26 +202,34 @@ impl LotPlan {
     /// mask frequency — e.g. an adaptively refined sweep, whose plot is a
     /// superset of the plan grid. Mask points are located by frequency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a mask frequency is missing from `points` (impossible
-    /// for plots produced from this plan, whose seed contains the mask;
-    /// the lot engine additionally rejects any plan whose grid does not
-    /// cover its mask with [`NetanError::MaskFrequencyMissing`] before
-    /// measuring anything, so a lot run can never reach this panic).
-    pub fn classify_plot(&self, points: &[BodePoint]) -> SpecVerdict {
-        let masked: Vec<BodePoint> = self
-            .mask
-            .points()
-            .iter()
-            .map(|mp| {
-                *points
-                    .iter()
-                    .find(|p| p.frequency.value().to_bits() == mp.frequency.value().to_bits())
-                    .expect("mask frequency measured by construction")
-            })
-            .collect();
-        self.mask.classify(&masked)
+    /// [`NetanError::MaskFrequencyMissing`] if a mask frequency is
+    /// missing from `points`. Unreachable for plots produced from this
+    /// plan, whose seed grid contains the mask — and the lot engine
+    /// additionally rejects any plan whose grid does not cover its mask
+    /// up front, before measuring anything — but a hand-assembled point
+    /// set gets a typed error rather than a panic.
+    pub fn classify_plot(&self, points: &[BodePoint]) -> Result<SpecVerdict, NetanError> {
+        let mut masked: Vec<BodePoint> = Vec::with_capacity(self.mask.points().len());
+        for mp in self.mask.points() {
+            let found = points
+                .iter()
+                .find(|p| p.frequency.value().to_bits() == mp.frequency.value().to_bits());
+            match found {
+                Some(p) => masked.push(*p),
+                None => return Err(Self::missing_mask_error(mp.frequency)),
+            }
+        }
+        Ok(self.mask.classify(&masked))
+    }
+
+    /// The typed missing-mask-frequency error for `frequency`.
+    fn missing_mask_error(frequency: Hertz) -> NetanError {
+        NetanError::MaskFrequencyMissing {
+            // netan-lint: allow(lossy-cast): diagnostic-only millihertz render; `as` saturates NaN/∞ instead of panicking
+            hz_millis: (frequency.value() * 1000.0) as i64,
+        }
     }
 }
 
@@ -1289,11 +1303,23 @@ impl LotEngine {
                     budget_exhausted = true;
                     break;
                 }
-                let report = results.next().expect("one result per measured candidate")?;
-                let t = *report
+                // `results` holds exactly `measure` items and `j < measure`
+                // here, so the iterator cannot run dry; treating an
+                // impossible dry read as exhaustion keeps the path
+                // panic-free without inventing an error variant.
+                let Some(report) = results.next() else {
+                    budget_exhausted = true;
+                    break;
+                };
+                let report = report?;
+                // Every re-test appends its stage charge; fall back to
+                // the cumulative spend (a sane degenerate ledger entry)
+                // rather than asserting.
+                let t = report
                     .stage_times
                     .last()
-                    .expect("a re-test records its stage charge");
+                    .copied()
+                    .unwrap_or(report.test_time);
                 spent = spent + t;
                 stage_time = stage_time + t;
                 devices[i] = report;
@@ -1346,10 +1372,10 @@ impl LotEngine {
             NetworkAnalyzer::validate_frequency(f)?;
         }
         // A grid that omits a mask frequency would only surface as a
-        // panic deep inside classification, devices into the run
-        // (`classify_plot`'s "measured by construction" expect).
-        // `LotPlan::new` always unions the mask into the grid; plans
-        // assembled any other way are rejected here, up front.
+        // `MaskFrequencyMissing` deep inside classification, devices
+        // into the run. `LotPlan::new` always unions the mask into the
+        // grid; plans assembled any other way are rejected here, up
+        // front.
         for mp in plan.mask().points() {
             let measured = plan
                 .grid()
@@ -1423,7 +1449,7 @@ impl LotEngine {
                 plan.grid(),
             )?,
         };
-        let verdict = plan.classify_plot(plot.points());
+        let verdict = plan.classify_plot(plot.points())?;
         let fit = plot.fit_lowpass_biquad();
         // Actual measured points (a superset of the grid for adaptive
         // plans), each charged `charge_periods` of chopped acquisition —

@@ -12,9 +12,22 @@
 //! Keeping the loop here (instead of one copy per engine) is what makes
 //! the determinism argument auditable: there is exactly one scheduling
 //! primitive to reason about.
+//!
+//! # Worker-panic containment
+//!
+//! A panicking job no longer takes the pool down with it. Each job runs
+//! under `catch_unwind`; the worker that caught it keeps stealing the
+//! remaining indices, and the slot mutex is recovered from poisoning via
+//! [`PoisonError::into_inner`] (the protected state is only ever a whole
+//! slot written in one assignment, so a poisoned lock cannot expose a
+//! torn value). [`try_map_indexed`] surfaces the **lowest-index** panic
+//! as a typed [`WorkerPanic`] — the same error a serial in-order run
+//! would hit first — while [`map_indexed`] keeps its infallible
+//! signature by resuming the unwind with that panic's payload.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The machine's available parallelism (1 if it cannot be determined) —
 /// the sizing rule behind every engine's `auto()` constructor.
@@ -22,6 +35,39 @@ pub fn auto_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A job handed to the pool panicked.
+///
+/// `index` is the lowest job index that panicked (the one a serial
+/// in-order run would have hit first); `message` is the panic payload
+/// rendered to text (`&str` and `String` payloads verbatim, anything
+/// else a fixed placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Lowest job index whose closure panicked.
+    pub index: usize,
+    /// The panic payload as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a `catch_unwind` payload to text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 /// Runs `job(i)` for every `i in 0..len` across a pool of `workers`
@@ -39,22 +85,72 @@ pub fn auto_threads() -> usize {
 /// Every job is attempted; fallible callers collect the `Result`s and
 /// surface the lowest-index error, matching what a serial in-order run
 /// would report.
+///
+/// # Panics
+///
+/// If a job panics, the unwind is resumed on the calling thread with the
+/// lowest-index panic's payload after the surviving workers finish —
+/// i.e. `map_indexed` behaves like the serial loop: the panic
+/// propagates, but it never poisons sibling jobs into `"lock poisoned"`
+/// aborts. Callers that need to *handle* a panicking job use
+/// [`try_map_indexed`].
 pub fn map_indexed<T, F>(workers: usize, len: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    match try_map_indexed(workers, len, job) {
+        Ok(values) => values,
+        Err(panic) => std::panic::resume_unwind(Box::new(panic.message)),
+    }
+}
+
+/// [`map_indexed`] with worker panics contained: runs every job, and if
+/// any job panicked returns the **lowest-index** panic as a typed
+/// [`WorkerPanic`] instead of unwinding.
+///
+/// All jobs are still attempted (a panic in job 3 does not cancel job
+/// 40), so a caller retrying the failed index pays only for that index.
+/// The scheduling and result order are identical to [`map_indexed`].
+///
+/// # Errors
+///
+/// [`WorkerPanic`] if at least one job panicked.
+pub fn try_map_indexed<T, F>(workers: usize, len: usize, job: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if len == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let workers = workers.clamp(1, len);
     if workers == 1 {
-        return (0..len).map(job).collect();
+        let mut values = Vec::with_capacity(len);
+        let mut first_panic: Option<WorkerPanic> = None;
+        for i in 0..len {
+            match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                Ok(value) => values.push(value),
+                Err(payload) => {
+                    first_panic.get_or_insert(WorkerPanic {
+                        index: i,
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        }
+        return match first_panic {
+            None => Ok(values),
+            Some(panic) => Err(panic),
+        };
     }
 
     // Indexed result slots keep output order independent of completion
-    // order; the atomic cursor steals work job-by-job.
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..len).map(|_| None).collect());
+    // order; the atomic cursor steals work job-by-job. A slot records
+    // the job's value or its panic text; locks are recovered from
+    // poisoning because each critical section is a single whole-slot
+    // assignment — there is no torn state a poisoned lock could expose.
+    let slots: Mutex<Vec<Option<Result<T, String>>>> = Mutex::new((0..len).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -63,18 +159,35 @@ where
                 if i >= len {
                     break;
                 }
-                let value = job(i);
-                slots.lock().expect("pool slot lock poisoned")[i] = Some(value);
+                let outcome = catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_message);
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
             });
         }
     });
 
-    slots
+    let mut values = Vec::with_capacity(len);
+    for (i, slot) in slots
         .into_inner()
-        .expect("pool slot lock poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|slot| slot.expect("worker pool covered every index"))
-        .collect()
+        .enumerate()
+    {
+        match slot {
+            Some(Ok(value)) => values.push(value),
+            Some(Err(message)) => return Err(WorkerPanic { index: i, message }),
+            // Unreachable: the cursor hands every index to some worker,
+            // and a worker writes its slot even when the job panics. A
+            // missing slot is reported rather than asserted so the pool
+            // itself stays panic-free.
+            None => {
+                return Err(WorkerPanic {
+                    index: i,
+                    message: "worker never delivered its result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(values)
 }
 
 #[cfg(test)]
@@ -112,5 +225,62 @@ mod tests {
         for (i, r) in runs.iter().enumerate() {
             assert_eq!(r.load(Ordering::Relaxed), 1, "job {i}");
         }
+    }
+
+    #[test]
+    fn try_map_surfaces_the_lowest_index_panic() {
+        for workers in [1, 2, 8] {
+            let err = try_map_indexed(workers, 20, |i| {
+                if i == 7 || i == 13 {
+                    panic!("job {i} failed");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 7, "workers = {workers}");
+            assert_eq!(err.message, "job 7 failed", "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn sibling_jobs_survive_a_panicking_worker() {
+        use std::sync::atomic::AtomicU32;
+        let runs: Vec<AtomicU32> = (0..30).map(|_| AtomicU32::new(0)).collect();
+        let err = try_map_indexed(4, 30, |i| {
+            runs[i].fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                panic!("first job dies");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 0);
+        // Every sibling still ran exactly once — no poisoning cascade.
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_resumes_the_unwind_with_the_panic_text() {
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = map_indexed(2, 10, |i| {
+                if i == 3 {
+                    panic!("boom at {i}");
+                }
+                0
+            });
+        })
+        .unwrap_err();
+        let text = caught
+            .downcast::<String>()
+            .expect("payload is the panic text");
+        assert_eq!(*text, "boom at 3");
+    }
+
+    #[test]
+    fn non_string_payloads_get_a_placeholder() {
+        let err = try_map_indexed(1, 1, |_| -> u32 { std::panic::panic_any(42u64) }).unwrap_err();
+        assert_eq!(err.message, "non-string panic payload");
     }
 }

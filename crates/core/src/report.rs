@@ -20,12 +20,15 @@
 
 use crate::analyzer::BodePoint;
 use crate::harmonics::DistortionReport;
+use crate::json::{write_f64 as json_f64, Json};
 use crate::lot::{DeviceReport, LotReport, ShardSpan, StageSummary, StoppingPolicy, VerdictCounts};
 use crate::spec::{GainMask, MaskPoint, SpecVerdict};
 use crate::sweep::{BodePlot, LowpassFit};
 use mixsig::units::{Hertz, Seconds};
 use sdeval::Bounded;
 use std::fmt::Write as _;
+
+pub use crate::json::ReportParseError;
 
 /// Renders a Bode plot as a human-readable table (the rows of paper
 /// Fig. 10a/b).
@@ -269,14 +272,6 @@ pub fn lot_csv(report: &LotReport) -> String {
     out
 }
 
-fn json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        out.push_str("null");
-    }
-}
-
 fn json_bounded(out: &mut String, b: &Bounded) {
     out.push_str("{\"lo\":");
     json_f64(out, b.lo);
@@ -469,274 +464,6 @@ pub fn lot_json(report: &LotReport) -> String {
     out
 }
 
-/// Error from [`parse_lot_json`]: what went wrong and the byte offset
-/// in the document where the parser detected it (0 for document-level
-/// interpretation failures, e.g. a missing field).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReportParseError {
-    /// Byte offset into the document text.
-    pub offset: usize,
-    /// Human-readable description of the failure.
-    pub message: String,
-}
-
-impl ReportParseError {
-    fn at(offset: usize, message: impl Into<String>) -> Self {
-        Self {
-            offset,
-            message: message.into(),
-        }
-    }
-
-    fn doc(message: impl Into<String>) -> Self {
-        Self::at(0, message)
-    }
-}
-
-impl std::fmt::Display for ReportParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "lot document invalid at byte {}: {}",
-            self.offset, self.message
-        )
-    }
-}
-
-impl std::error::Error for ReportParseError {}
-
-/// A parsed JSON value. Numbers keep their raw token so integers larger
-/// than an exact `f64` (e.g. a full-range `u64` seed) survive, and so
-/// `f64` fields round-trip through `str::parse` — the exact inverse of
-/// the shortest-round-trip formatting the sinks use.
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn fail<T>(&self, message: impl Into<String>) -> Result<T, ReportParseError> {
-        Err(ReportParseError::at(self.pos, message))
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, token: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
-            self.pos += token.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ReportParseError> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            self.fail(format!("expected {:?}", b as char))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ReportParseError> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'n') if self.eat("null") => Ok(Json::Null),
-            Some(b't') if self.eat("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat("false") => Ok(Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => self.fail("expected a JSON value"),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ReportParseError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return self.fail("unterminated string"),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = match self.bytes.get(self.pos) {
-                        Some(b'"') => '"',
-                        Some(b'\\') => '\\',
-                        Some(b'/') => '/',
-                        Some(b'b') => '\u{8}',
-                        Some(b'f') => '\u{c}',
-                        Some(b'n') => '\n',
-                        Some(b'r') => '\r',
-                        Some(b't') => '\t',
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32);
-                            match hex {
-                                Some(c) => {
-                                    self.pos += 4;
-                                    c
-                                }
-                                None => return self.fail("bad \\u escape"),
-                            }
-                        }
-                        _ => return self.fail("bad escape"),
-                    };
-                    s.push(esc);
-                    self.pos += 1;
-                }
-                Some(&b) if b < 0x80 => {
-                    s.push(b as char);
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: the input is a &str, so the
-                    // sequence is valid — copy it through wholesale.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .expect("input was a &str, suffix at a char boundary");
-                    let c = rest.chars().next().expect("non-empty by match arm");
-                    s.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ReportParseError> {
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-        ) {
-            self.pos += 1;
-        }
-        let token =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
-        if token.parse::<f64>().is_err() {
-            return Err(ReportParseError::at(start, format!("bad number {token:?}")));
-        }
-        Ok(Json::Num(token.to_string()))
-    }
-
-    fn array(&mut self) -> Result<Json, ReportParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat("]") {
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            if self.eat("]") {
-                return Ok(Json::Arr(items));
-            }
-            self.expect(b',')?;
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ReportParseError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.eat("}") {
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            self.skip_ws();
-            if self.eat("}") {
-                return Ok(Json::Obj(fields));
-            }
-            self.expect(b',')?;
-        }
-    }
-}
-
-impl Json {
-    /// Looks up a required object field.
-    fn field(&self, key: &str) -> Result<&Json, ReportParseError> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| ReportParseError::doc(format!("missing field {key:?}"))),
-            _ => Err(ReportParseError::doc(format!(
-                "expected an object with field {key:?}"
-            ))),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json], ReportParseError> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err(ReportParseError::doc("expected an array")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str, ReportParseError> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err(ReportParseError::doc("expected a string")),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool, ReportParseError> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            _ => Err(ReportParseError::doc("expected a boolean")),
-        }
-    }
-
-    /// A number as `f64`; `null` reads back as the NaN it was rendered
-    /// from (the sinks emit `null` for every non-finite value).
-    fn as_f64(&self) -> Result<f64, ReportParseError> {
-        match self {
-            Json::Null => Ok(f64::NAN),
-            Json::Num(token) => token
-                .parse()
-                .map_err(|_| ReportParseError::doc(format!("bad number {token:?}"))),
-            _ => Err(ReportParseError::doc("expected a number or null")),
-        }
-    }
-
-    fn as_int<T: std::str::FromStr>(&self, what: &str) -> Result<T, ReportParseError> {
-        match self {
-            Json::Num(token) => token
-                .parse()
-                .map_err(|_| ReportParseError::doc(format!("bad {what}: {token}"))),
-            _ => Err(ReportParseError::doc(format!("expected an integer {what}"))),
-        }
-    }
-}
-
 fn parse_bounded(j: &Json) -> Result<Bounded, ReportParseError> {
     // Constructed as a literal, not via `Bounded::new`: a `null` bound
     // reads back as NaN, which the ordering assert would reject.
@@ -844,16 +571,22 @@ fn parse_device(d: &Json, version: u32) -> Result<DeviceReport, ReportParseError
 /// missing/mistyped field, with the byte offset where the parser
 /// stopped.
 pub fn parse_lot_json(text: &str) -> Result<LotReport, ReportParseError> {
-    let mut parser = JsonParser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let doc = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return parser.fail("trailing content after the document");
-    }
+    let doc = Json::parse(text)?;
+    lot_report_from_json(&doc)
+}
 
+/// Interprets an already-parsed [`Json`] document as a lot report.
+///
+/// This is [`parse_lot_json`] minus the text parsing step; it exists so
+/// callers that embed a `netan.lot.v*` document inside a larger frame
+/// (e.g. the `netan.job.v1` service protocol) can hand over the nested
+/// value without re-rendering it to text first.
+///
+/// # Errors
+///
+/// [`ReportParseError`] on an unsupported schema or a missing/mistyped
+/// field (offset 0: interpretation happens after parsing).
+pub fn lot_report_from_json(doc: &Json) -> Result<LotReport, ReportParseError> {
     let schema = doc.field("schema")?.as_str()?;
     let version = match schema {
         "netan.lot.v1" => 1,

@@ -48,11 +48,13 @@ pub const SUPPRESSIBLE: &[&str] = &[
 /// Library crates whose shipped code paths must not silently narrow
 /// numbers. Test-infrastructure crates (`bench`, `criterion`, `proptest`,
 /// `devtools`) are exempt.
-const LOSSY_CAST_CRATES: &[&str] = &["core", "mixsig", "dsp", "sigen", "dut", "sdeval", "ate"];
+const LOSSY_CAST_CRATES: &[&str] = &[
+    "core", "mixsig", "dsp", "sigen", "dut", "sdeval", "ate", "serve",
+];
 
 /// Crates whose engines promise byte-identical serial/parallel/sharded
 /// results; hash-order iteration is banned anywhere inside them.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "mixsig", "sdeval"];
+const DETERMINISTIC_CRATES: &[&str] = &["core", "mixsig", "sdeval", "serve"];
 
 /// Crates allowed to read wall-clock time and ambient entropy: the bench
 /// harnesses and this tool. Everything else derives timing from simulated
@@ -81,7 +83,9 @@ pub fn rule_applies(rule: &str, ctx: &FileCtx) -> bool {
             !ctx.crate_name.is_empty()
                 && !WALLCLOCK_EXEMPT_CRATES.contains(&ctx.crate_name.as_str())
         }
-        PANIC_IN_LIB => ctx.crate_name == "core" && ctx.kind == FileKind::Lib,
+        PANIC_IN_LIB => {
+            matches!(ctx.crate_name.as_str(), "core" | "serve") && ctx.kind == FileKind::Lib
+        }
         // The unsafe-hygiene rule and all directive hygiene apply
         // everywhere, tests included.
         _ => true,

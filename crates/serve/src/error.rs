@@ -1,0 +1,112 @@
+//! Typed errors of the screening service.
+
+use netan::NetanError;
+
+/// Why a job was rejected at submission or failed after acceptance.
+///
+/// Every variant crosses the wire as a `netan.job.v1` error object (see
+/// [`crate::job`]); none of them is ever a panic — a long-running
+/// service survives a malformed request, a poisoned lock, and a
+/// panicking worker alike.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded shard queue cannot take the job's shards right now.
+    /// Backpressure, not failure: resubmit once in-flight work drains.
+    QueueFull {
+        /// The queue's configured shard capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down: new jobs are refused, and accepted
+    /// jobs whose remaining shards were still queued fail with this
+    /// after the in-flight shards drain.
+    ShuttingDown,
+    /// A worker panicked twice on the same shard (the first panic is
+    /// retried silently). The job fails; sibling jobs are unaffected.
+    ShardPanicked {
+        /// First seed of the failing shard.
+        seed_start: u64,
+        /// One past the last seed of the failing shard.
+        seed_end: u64,
+        /// The worker's panic payload, rendered to text.
+        message: String,
+    },
+    /// A shard checkpoint could not be persisted or the state directory
+    /// could not be created.
+    Checkpoint {
+        /// The underlying checkpoint error, rendered to text.
+        message: String,
+    },
+    /// The lot engine itself rejected or failed the shard — validation
+    /// errors surface here before any simulation.
+    Lot(NetanError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "job queue is full (capacity {capacity} shards)")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::ShardPanicked {
+                seed_start,
+                seed_end,
+                message,
+            } => write!(
+                f,
+                "shard {seed_start}..{seed_end} panicked twice: {message}"
+            ),
+            ServeError::Checkpoint { message } => {
+                write!(f, "checkpoint persistence failed: {message}")
+            }
+            ServeError::Lot(e) => write!(f, "lot run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Lot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetanError> for ServeError {
+    fn from(e: NetanError) -> Self {
+        ServeError::Lot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let q = ServeError::QueueFull { capacity: 4 };
+        assert!(q.to_string().contains("capacity 4"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+        let p = ServeError::ShardPanicked {
+            seed_start: 2,
+            seed_end: 4,
+            message: "boom".to_string(),
+        };
+        assert!(p.to_string().contains("2..4"));
+        assert!(p.to_string().contains("boom"));
+        let l = ServeError::from(NetanError::EmptyLot);
+        assert!(l.to_string().contains("lot run failed"));
+        let c = ServeError::Checkpoint {
+            message: "disk gone".to_string(),
+        };
+        assert!(c.to_string().contains("disk gone"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        assert!(ServeError::from(NetanError::EmptySweep).source().is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Screening-as-a-service for the DATE'08 network analyzer.
+//!
+//! `netan-serve` turns the in-process lot machinery of the `netan`
+//! crate into a long-running screening service: clients submit jobs —
+//! a DUT description plus a [`netan::LotPlan`] and
+//! [`netan::EscalationSchedule`] — over a line-delimited TCP protocol,
+//! the service splits each job into device-range shards, feeds them to
+//! a bounded worker pool built on [`netan::LotEngine::run_escalated_range`],
+//! folds the results back together with [`netan::LotReport::merge`],
+//! and streams per-shard progress back to the submitter.
+//!
+//! The layers, bottom up:
+//!
+//! - [`error`] — the typed [`ServeError`]: a long-running service never
+//!   panics on bad input, a full queue, a dying worker, or shutdown.
+//! - [`job`] — the `netan.job.v1` wire schema: [`JobRequest`] plus the
+//!   client/server frames, built on the same hand-rolled JSON machinery
+//!   as `netan.lot.v4` and with the same byte-exact parse→render
+//!   round-trip guarantee.
+//! - [`service`] — [`ScreenService`]: the bounded shard queue, worker
+//!   pool, in-order merging, observed-cost budget threading,
+//!   retry-once fault containment, checkpoint persistence, and
+//!   graceful shutdown.
+//! - [`server`] — [`JobServer`]: the TCP front end, one connection per
+//!   submitter, events streamed as they happen.
+//!
+//! Everything is std-only and deterministic: a job's merged report is
+//! byte-identical to the equivalent monolithic
+//! `run_escalated_range` call (unbudgeted) or checkpointed
+//! `LotCheckpoint::run_escalated` drive (budgeted), no matter how many
+//! workers raced on its shards.
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod job;
+pub mod server;
+pub mod service;
+
+pub use error::ServeError;
+pub use job::{ClientFrame, DutDescription, JobRequest, ServerFrame, WireError, SCHEMA};
+pub use server::JobServer;
+pub use service::{FaultPlan, JobEvent, ScreenService, ServiceConfig};

@@ -1,0 +1,622 @@
+//! The screening service proper: a bounded shard queue over
+//! [`LotEngine`], with incremental merging, budget threading, retry,
+//! checkpoint persistence, and graceful shutdown.
+//!
+//! # Execution model
+//!
+//! A submitted [`JobRequest`] splits into device-range shards
+//! ([`JobRequest::spans`]). **Unbudgeted** jobs enqueue every shard at
+//! submission; a fixed pool of worker threads steals them in any order,
+//! completed shards are buffered, and the job's report is folded with
+//! [`LotReport::merge`] strictly in seed order — so the merged result
+//! (and every streamed progress event) is byte-deterministic under any
+//! thread schedule, and byte-identical to one monolithic
+//! `run_escalated_range` over the whole lot. **Budgeted** jobs dispatch
+//! one shard at a time: shard *k+1* is queued only after shard *k*
+//! merges, and runs under the remaining global budget
+//! `global − merged.spent()` — exactly the observed-cost ledger
+//! threading of [`LotCheckpoint::run_escalated`], and byte-identical to
+//! a checkpointed drive with the same shard size.
+//!
+//! # Backpressure
+//!
+//! The shard queue is bounded: a submission whose shards do not fit is
+//! refused with a typed [`ServeError::QueueFull`] before anything is
+//! queued — the client resubmits later instead of the server buffering
+//! without limit. (A budgeted job's follow-on shards bypass the check:
+//! it only ever has one shard in flight.)
+//!
+//! # Fault containment
+//!
+//! Each shard runs under `catch_unwind`. A panicking shard is retried
+//! once (the submitter sees a `retry` event); a second panic fails that
+//! job with a typed [`ServeError::ShardPanicked`] while every other job
+//! continues. Lock poisoning is recovered everywhere via
+//! [`PoisonError::into_inner`] — the protected state is only mutated in
+//! whole-value assignments, so a poisoned lock cannot expose torn data.
+//!
+//! # Persistence
+//!
+//! With a state directory configured, each job gets a
+//! [`LotCheckpoint`] under `job-<fnv64 of the rendered request>`, so a
+//! resubmitted identical job loads its completed shards instead of
+//! re-measuring them (`resumed: true` in the progress stream), with the
+//! same byte-exact resume-equality the checkpoint driver guarantees.
+//!
+//! # Shutdown
+//!
+//! [`ScreenService::shutdown`] refuses new submissions, drops queued
+//! (not-yet-started) shards, lets in-flight shards finish, persist and
+//! merge, fails every still-incomplete job with a typed
+//! [`ServeError::ShuttingDown`], and joins the workers.
+
+use crate::error::ServeError;
+use crate::job::{job_key, JobRequest};
+use dut::ActiveRcFilter;
+use mixsig::cast::u64_from_usize;
+use mixsig::units::Seconds;
+use netan::{LotCheckpoint, LotEngine, LotReport, NetanError};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Deterministic fault injection for tests and the CI smoke job: the
+/// first `times` executions of the shard starting at `seed_start`
+/// panic with `"injected worker fault"` instead of measuring. With
+/// `times == 1` the service's single retry recovers the job; with
+/// `times >= 2` the job fails with a typed error.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// `seed_start` of the shard to kill.
+    pub seed_start: u64,
+    /// How many executions of that shard to kill (shared so tests can
+    /// watch the countdown).
+    pub times: Arc<AtomicU32>,
+}
+
+impl FaultPlan {
+    /// Kill the shard starting at `seed_start`, `times` times.
+    pub fn new(seed_start: u64, times: u32) -> Self {
+        Self {
+            seed_start,
+            times: Arc::new(AtomicU32::new(times)),
+        }
+    }
+}
+
+/// Configuration of a [`ScreenService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing shards (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded shard-queue capacity; submissions that do not fit are
+    /// refused with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// The lot engine each worker runs shards on.
+    pub engine: LotEngine,
+    /// Checkpoint root: per-job shard persistence and resume when set.
+    pub state_dir: Option<PathBuf>,
+    /// Deterministic worker-fault injection (tests and CI smoke only).
+    pub fault: Option<FaultPlan>,
+}
+
+impl ServiceConfig {
+    /// One worker, a 64-shard queue, a serial engine, no persistence.
+    pub fn new() -> Self {
+        Self {
+            workers: 1,
+            queue_capacity: 64,
+            engine: LotEngine::serial(),
+            state_dir: None,
+            fault: None,
+        }
+    }
+
+    /// Returns the config with `workers` worker threads.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Returns the config with a shard-queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Returns the config with the given lot engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: LotEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns the config persisting job checkpoints under `dir`.
+    #[must_use]
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns the config with fault injection armed.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What a submitter receives over its job's event channel, in order:
+/// any number of `Progress`/`Retry`, then exactly one `Done` or
+/// `Failed`.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// A shard merged into the job's report prefix. Progress is emitted
+    /// in seed order regardless of completion order, so the stream is
+    /// deterministic.
+    Progress {
+        /// First seed of the merged shard.
+        seed_start: u64,
+        /// One past the last seed of the merged shard.
+        seed_end: u64,
+        /// Shards merged so far (including this one).
+        done: u64,
+        /// Total shard count of the job.
+        total: u64,
+        /// Devices screened across the merged prefix.
+        devices: u64,
+        /// Observed-cost ledger of the merged prefix.
+        spent: Seconds,
+        /// Whether the shard was loaded from a checkpoint.
+        resumed: bool,
+    },
+    /// A worker panicked on a shard; it is being retried once.
+    Retry {
+        /// First seed of the retried shard.
+        seed_start: u64,
+        /// One past the last seed of the retried shard.
+        seed_end: u64,
+        /// The panic payload, rendered to text.
+        message: String,
+    },
+    /// The job completed; the merged report.
+    Done(Box<LotReport>),
+    /// The job failed; sibling jobs are unaffected.
+    Failed(ServeError),
+}
+
+struct Task {
+    job: u64,
+    span: Range<u64>,
+    attempt: u32,
+}
+
+struct JobState {
+    request: JobRequest,
+    events: Sender<JobEvent>,
+    /// Merged prefix, seeded with the merge identity.
+    merged: LotReport,
+    /// Seed where the next in-order merge must start.
+    next_merge: u64,
+    /// Completed shards waiting for their turn to merge:
+    /// `start -> (end, report, resumed)`.
+    ready: BTreeMap<u64, (u64, LotReport, bool)>,
+    total: u64,
+    done: u64,
+    /// Shards of this job currently executing on a worker.
+    active: usize,
+    checkpoint: Option<LotCheckpoint>,
+}
+
+struct State {
+    next_job: u64,
+    queue: VecDeque<Task>,
+    jobs: BTreeMap<u64, JobState>,
+    shutting_down: bool,
+}
+
+struct Inner {
+    engine: LotEngine,
+    state_dir: Option<PathBuf>,
+    fault: Option<FaultPlan>,
+    queue_capacity: usize,
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// The screening service: submit jobs, stream their events, shut down
+/// gracefully. See the [module docs](self) for the execution model.
+pub struct ScreenService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ScreenService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            engine: config.engine,
+            state_dir: config.state_dir,
+            fault: config.fault,
+            queue_capacity: config.queue_capacity,
+            state: Mutex::new(State {
+                next_job: 0,
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Queues a job and returns its id plus the event stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after [`shutdown`](Self::shutdown),
+    /// [`ServeError::QueueFull`] when the job's shards do not fit the
+    /// bounded queue, [`ServeError::Lot`] with
+    /// [`NetanError::EmptyLot`] for an empty seed range. Nothing is
+    /// queued on any error.
+    pub fn submit(&self, request: JobRequest) -> Result<(u64, Receiver<JobEvent>), ServeError> {
+        if request.seed_start >= request.seed_end {
+            return Err(ServeError::Lot(NetanError::EmptyLot));
+        }
+        let spans = request.spans();
+        let budgeted = request.schedule.budget().is_some();
+        let checkpoint = match &self.inner.state_dir {
+            Some(dir) => {
+                let key = job_key(&request.render());
+                Some(LotCheckpoint::new(
+                    dir.join(format!("job-{key:016x}")),
+                    request.shard_size(),
+                ))
+            }
+            None => None,
+        };
+
+        let mut st = self.inner.lock();
+        if st.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        let new_tasks = if budgeted { 1 } else { spans.len() };
+        if st.queue.len() + new_tasks > self.inner.queue_capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.inner.queue_capacity,
+            });
+        }
+        let job = st.next_job;
+        st.next_job += 1;
+        let (events, receiver) = channel();
+        let merged = LotReport::empty(&request.plan);
+        st.jobs.insert(
+            job,
+            JobState {
+                next_merge: request.seed_start,
+                total: request.shard_count(),
+                merged,
+                request,
+                events,
+                ready: BTreeMap::new(),
+                done: 0,
+                active: 0,
+                checkpoint,
+            },
+        );
+        for span in spans.into_iter().take(new_tasks) {
+            st.queue.push_back(Task {
+                job,
+                span,
+                attempt: 0,
+            });
+        }
+        self.inner.work_ready.notify_all();
+        Ok((job, receiver))
+    }
+
+    /// Graceful shutdown: refuse new jobs, drop queued shards, drain
+    /// in-flight shards (they finish, persist, and merge), fail every
+    /// still-incomplete job with [`ServeError::ShuttingDown`], and join
+    /// the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.lock();
+            if !st.shutting_down {
+                st.shutting_down = true;
+                st.queue.clear();
+                // Jobs with no in-flight shard have nothing left to
+                // drain; fail them now. Jobs with in-flight shards are
+                // resolved by the worker that finishes them.
+                let stalled: Vec<u64> = st
+                    .jobs
+                    .iter()
+                    .filter(|(_, j)| j.active == 0)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in stalled {
+                    Inner::fail_job(&mut st, id, ServeError::ShuttingDown);
+                }
+            }
+            self.inner.work_ready.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            workers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+enum TaskFailure {
+    Panicked(String),
+    Error(ServeError),
+}
+
+impl Inner {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // Pop a task and pin its job in one critical section, so
+            // shutdown can tell in-flight shards (active > 0) from
+            // queued ones.
+            let (task, request, spent, checkpoint) = {
+                let mut st = self.lock();
+                let task = loop {
+                    match st.queue.pop_front() {
+                        Some(task) => {
+                            if let Some(job) = st.jobs.get_mut(&task.job) {
+                                job.active += 1;
+                                break task;
+                            }
+                            // The job failed while this shard was
+                            // queued; drop the orphan task.
+                        }
+                        None => {
+                            if st.shutting_down {
+                                return;
+                            }
+                            st = self
+                                .work_ready
+                                .wait(st)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                };
+                let job = &st.jobs[&task.job];
+                (
+                    task,
+                    job.request.clone(),
+                    job.merged.spent(),
+                    job.checkpoint.clone(),
+                )
+            };
+
+            let outcome = self.execute(&task, &request, spent, checkpoint.as_ref());
+
+            let mut st = self.lock();
+            if let Some(job) = st.jobs.get_mut(&task.job) {
+                job.active -= 1;
+            }
+            match outcome {
+                Ok((report, resumed)) => self.record_shard(&mut st, &task, report, resumed),
+                Err(TaskFailure::Panicked(message)) if task.attempt == 0 => {
+                    if let Some(job) = st.jobs.get(&task.job) {
+                        let _ = job.events.send(JobEvent::Retry {
+                            seed_start: task.span.start,
+                            seed_end: task.span.end,
+                            message,
+                        });
+                        st.queue.push_front(Task {
+                            job: task.job,
+                            span: task.span.clone(),
+                            attempt: 1,
+                        });
+                        self.work_ready.notify_all();
+                    }
+                }
+                Err(TaskFailure::Panicked(message)) => {
+                    Self::fail_job(
+                        &mut st,
+                        task.job,
+                        ServeError::ShardPanicked {
+                            seed_start: task.span.start,
+                            seed_end: task.span.end,
+                            message,
+                        },
+                    );
+                }
+                Err(TaskFailure::Error(e)) => Self::fail_job(&mut st, task.job, e),
+            }
+        }
+    }
+
+    /// Runs one shard: checkpoint load first, engine run (fault
+    /// injection and panic containment included) otherwise, persisting
+    /// the fresh result before it is merged.
+    fn execute(
+        &self,
+        task: &Task,
+        request: &JobRequest,
+        spent: Seconds,
+        checkpoint: Option<&LotCheckpoint>,
+    ) -> Result<(LotReport, bool), TaskFailure> {
+        if let Some(loaded) = checkpoint.and_then(|c| c.load_shard(&task.span, &request.plan)) {
+            return Ok((loaded, true));
+        }
+        let span = task.span.clone();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = &self.fault {
+                let armed = span.start == fault.seed_start
+                    && fault
+                        .times
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                        .is_ok();
+                if armed {
+                    std::panic::panic_any("injected worker fault".to_string());
+                }
+            }
+            run_shard(&self.engine, request, span.clone(), spent)
+        }));
+        match run {
+            Ok(Ok(report)) => {
+                if let Some(c) = checkpoint {
+                    if let Err(e) = c.persist_shard(&task.span, &report) {
+                        return Err(TaskFailure::Error(ServeError::Checkpoint {
+                            message: e.to_string(),
+                        }));
+                    }
+                }
+                Ok((report, false))
+            }
+            Ok(Err(e)) => Err(TaskFailure::Error(ServeError::Lot(e))),
+            Err(payload) => Err(TaskFailure::Panicked(panic_message(payload))),
+        }
+    }
+
+    /// Buffers a completed shard and folds every now-contiguous shard
+    /// into the merged prefix, emitting progress in seed order; then
+    /// finishes the job, dispatches a budgeted job's next shard, or
+    /// fails the job if shutdown dropped its remaining shards.
+    fn record_shard(&self, st: &mut State, task: &Task, report: LotReport, resumed: bool) {
+        let Some(job) = st.jobs.get_mut(&task.job) else {
+            return;
+        };
+        job.ready
+            .insert(task.span.start, (task.span.end, report, resumed));
+        while let Some((end, shard_report, shard_resumed)) = job.ready.remove(&job.next_merge) {
+            let start = job.next_merge;
+            job.merged = std::mem::replace(&mut job.merged, LotReport::empty(&job.request.plan))
+                .merge(shard_report);
+            job.next_merge = end;
+            job.done += 1;
+            let _ = job.events.send(JobEvent::Progress {
+                seed_start: start,
+                seed_end: end,
+                done: job.done,
+                total: job.total,
+                devices: u64_from_usize(job.merged.len()),
+                spent: job.merged.spent(),
+                resumed: shard_resumed,
+            });
+        }
+
+        if job.next_merge >= job.request.seed_end {
+            // Complete: the merged lot answers for the one global
+            // budget, not the per-shard remainders — same re-branding
+            // as `LotCheckpoint::run_escalated`.
+            let Some(job) = st.jobs.remove(&task.job) else {
+                return;
+            };
+            let report = match job.request.schedule.budget() {
+                Some(global) => {
+                    let exhausted = job.merged.budget_exhausted();
+                    job.merged.with_budget(Some(global), exhausted)
+                }
+                None => job.merged,
+            };
+            let _ = job.events.send(JobEvent::Done(Box::new(report)));
+            return;
+        }
+
+        let budgeted = job.request.schedule.budget().is_some();
+        if st.shutting_down {
+            // No further dispatch under shutdown; once the job's last
+            // in-flight shard has drained, nothing can complete it.
+            if job.active == 0 {
+                Self::fail_job(st, task.job, ServeError::ShuttingDown);
+            }
+        } else if budgeted && job.next_merge == task.span.end {
+            // The budgeted sequence advanced: dispatch the next shard,
+            // which will run under `global − merged.spent()`.
+            let start = job.next_merge;
+            let end = job
+                .request
+                .seed_end
+                .min(start.saturating_add(job.request.shard_size()));
+            st.queue.push_back(Task {
+                job: task.job,
+                span: start..end,
+                attempt: 0,
+            });
+            self.work_ready.notify_all();
+        }
+    }
+
+    /// Fails `job` with a terminal event, dropping its queued shards.
+    /// A no-op for already-resolved jobs.
+    fn fail_job(st: &mut State, job: u64, error: ServeError) {
+        let Some(state) = st.jobs.remove(&job) else {
+            return;
+        };
+        st.queue.retain(|t| t.job != job);
+        let _ = state.events.send(JobEvent::Failed(error));
+    }
+}
+
+/// One shard through the engine, under whatever budget the merged
+/// prefix left over.
+fn run_shard(
+    engine: &LotEngine,
+    request: &JobRequest,
+    span: Range<u64>,
+    spent: Seconds,
+) -> Result<LotReport, NetanError> {
+    let schedule = match request.schedule.budget() {
+        Some(global) => request
+            .schedule
+            .clone()
+            .with_budget(Seconds((global.value() - spent.value()).max(0.0))),
+        None => request.schedule.clone(),
+    };
+    let dut = request.dut.clone();
+    let factory = move |seed: u64| {
+        let base = ActiveRcFilter::paper_dut();
+        let base = if dut.linearized {
+            base.linearized()
+        } else {
+            base
+        };
+        base.fabricate(dut.tolerance, seed)
+    };
+    engine.run_escalated_range(factory, span, &request.plan, &schedule)
+}
+
+/// Renders a `catch_unwind` payload to text (same convention as the
+/// core worker pool).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
